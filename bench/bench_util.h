@@ -1,0 +1,100 @@
+// Shared helpers for the benchmark harness binaries.
+//
+// Every bench binary reproduces one table or figure of the paper. Sizes are
+// tuned so the default run of the full harness finishes in minutes; set
+// FASTFT_BENCH_FULL=1 for larger sweeps.
+
+#ifndef FASTFT_BENCH_BENCH_UTIL_H_
+#define FASTFT_BENCH_BENCH_UTIL_H_
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "baselines/baseline.h"
+#include "core/engine.h"
+#include "data/dataset_zoo.h"
+
+namespace fastft {
+namespace bench {
+
+/// True when FASTFT_BENCH_FULL=1 is exported.
+inline bool FullMode() {
+  const char* env = std::getenv("FASTFT_BENCH_FULL");
+  return env != nullptr && std::string(env) == "1";
+}
+
+inline void PrintTitle(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Printed at the end of each harness: the qualitative property the paper
+/// reports and whether this run reproduced it.
+inline void ShapeCheck(bool ok, const std::string& claim) {
+  std::printf("paper-shape check: [%s] %s\n", ok ? "OK" : "MISS",
+              claim.c_str());
+}
+
+/// Bench-tuned FastFT configuration (scaled-down schedule of the paper's
+/// 200×15; see DESIGN.md).
+inline EngineConfig DefaultEngineConfig(uint64_t seed) {
+  EngineConfig cfg;
+  cfg.episodes = FullMode() ? 16 : 10;
+  cfg.steps_per_episode = 8;
+  cfg.cold_start_episodes = 3;
+  cfg.finetune_every_episodes = 3;
+  cfg.evaluator.folds = 3;
+  cfg.evaluator.forest_trees = 8;
+  cfg.seed = seed;
+  return cfg;
+}
+
+inline BaselineConfig DefaultBaselineConfig(uint64_t seed) {
+  BaselineConfig cfg;
+  cfg.iterations = FullMode() ? 36 : 24;
+  cfg.evaluator.folds = 3;
+  cfg.evaluator.forest_trees = 8;
+  cfg.caafe_llm_latency = 0.12;
+  cfg.seed = seed;
+  return cfg;
+}
+
+inline double Mean(const std::vector<double>& v) {
+  double s = 0;
+  for (double x : v) s += x;
+  return v.empty() ? 0.0 : s / static_cast<double>(v.size());
+}
+
+inline double StdDev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  double m = Mean(v);
+  double acc = 0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(v.size() - 1));
+}
+
+/// Paired t-statistic of (a - b) across datasets.
+inline double PairedTStat(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  std::vector<double> diff;
+  for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    diff.push_back(a[i] - b[i]);
+  }
+  if (diff.size() < 2) return 0.0;
+  double sd = StdDev(diff);
+  if (sd < 1e-12) return 0.0;
+  return Mean(diff) / (sd / std::sqrt(static_cast<double>(diff.size())));
+}
+
+/// One-sided p-value via the normal approximation of the t distribution
+/// (adequate at df ≈ 20; documented in EXPERIMENTS.md).
+inline double OneSidedP(double t) { return 0.5 * std::erfc(t / std::sqrt(2.0)); }
+
+}  // namespace bench
+}  // namespace fastft
+
+#endif  // FASTFT_BENCH_BENCH_UTIL_H_

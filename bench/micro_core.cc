@@ -1,0 +1,100 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical
+// primitives: operation application, MI estimation, clustering, state
+// representation, predictor inference, and — the paper's central contrast —
+// one predictor forward pass vs. one full downstream evaluation.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/clustering.h"
+#include "core/mutual_information.h"
+#include "core/performance_predictor.h"
+#include "core/state.h"
+#include "data/synthetic.h"
+#include "ml/evaluator.h"
+
+namespace fastft {
+namespace {
+
+Dataset BenchDataset(int samples = 500, int features = 16) {
+  SyntheticSpec spec;
+  spec.samples = samples;
+  spec.features = features;
+  spec.seed = 5;
+  return MakeClassification(spec);
+}
+
+void BM_ApplyBinaryOp(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<double> a(state.range(0)), b(state.range(0));
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.Normal();
+    b[i] = rng.Normal();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ApplyBinary(OpType::kDiv, a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ApplyBinaryOp)->Arg(1000)->Arg(10000);
+
+void BM_QuantileBin(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<double> v(state.range(0));
+  for (double& x : v) x = rng.Normal();
+  for (auto _ : state) benchmark::DoNotOptimize(QuantileBin(v, 8));
+}
+BENCHMARK(BM_QuantileBin)->Arg(500)->Arg(5000);
+
+void BM_MutualInformation(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<double> a(state.range(0)), b(state.range(0));
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.Normal();
+    b[i] = a[i] + rng.Normal();
+  }
+  std::vector<int> ba = QuantileBin(a, 8), bb = QuantileBin(b, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DiscreteMutualInformation(ba, bb));
+  }
+}
+BENCHMARK(BM_MutualInformation)->Arg(500)->Arg(5000);
+
+void BM_ClusterFeatures(benchmark::State& state) {
+  Dataset ds = BenchDataset(400, static_cast<int>(state.range(0)));
+  FeatureSpace space(ds);
+  for (auto _ : state) benchmark::DoNotOptimize(ClusterFeatures(space));
+}
+BENCHMARK(BM_ClusterFeatures)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_StateRepresentation(benchmark::State& state) {
+  Dataset ds = BenchDataset(400, 16);
+  FeatureSpace space(ds);
+  for (auto _ : state) benchmark::DoNotOptimize(FeatureSetState(space));
+}
+BENCHMARK(BM_StateRepresentation);
+
+void BM_PredictorForward(benchmark::State& state) {
+  PredictorConfig cfg;
+  PerformancePredictor predictor(cfg);
+  Rng rng(4);
+  std::vector<int> tokens(state.range(0));
+  for (int& t : tokens) t = rng.UniformInt(60);
+  for (auto _ : state) benchmark::DoNotOptimize(predictor.Predict(tokens));
+}
+BENCHMARK(BM_PredictorForward)->Arg(32)->Arg(128);
+
+// The paper's headline contrast: estimating a reward with one forward pass
+// vs. running the full k-fold downstream evaluation.
+void BM_DownstreamEvaluation(benchmark::State& state) {
+  Dataset ds = BenchDataset(static_cast<int>(state.range(0)), 16);
+  Evaluator evaluator;
+  for (auto _ : state) benchmark::DoNotOptimize(evaluator.Evaluate(ds));
+}
+BENCHMARK(BM_DownstreamEvaluation)->Arg(200)->Arg(500)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fastft
+
+BENCHMARK_MAIN();

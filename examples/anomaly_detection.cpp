@@ -1,0 +1,75 @@
+// Anomaly-detection scenario: recovering a broken interaction constraint.
+//
+// The synthetic detection generator couples columns through a product
+// constraint (x_k ≈ x_i * x_j for inliers); anomalies break the constraint
+// while every marginal stays in-distribution. Raw features are therefore
+// nearly useless and the detector must *construct* the interaction — which
+// is what FastFT's crossing search does.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/engine.h"
+#include "core/mutual_information.h"
+#include "data/synthetic.h"
+
+int main() {
+  fastft::SyntheticSpec spec;
+  spec.samples = 500;
+  spec.features = 6;
+  spec.informative = 6;
+  spec.anomaly_rate = 0.12;
+  spec.label_noise = 0.01;
+  spec.seed = 17;
+  fastft::Dataset dataset = fastft::MakeDetection(spec);
+  dataset.name = "SensorAnomalies";
+
+  std::printf("SensorAnomalies: %d readings, %d channels, %.0f%% anomalies\n",
+              dataset.NumRows(), dataset.NumFeatures(),
+              100.0 * spec.anomaly_rate);
+
+  // How informative are the raw channels? (MI with the anomaly flag.)
+  std::printf("\nraw channel relevance (MI with label):\n");
+  std::vector<double> relevance = fastft::FeatureRelevance(
+      dataset.features, dataset.labels, dataset.task);
+  for (int c = 0; c < dataset.NumFeatures(); ++c) {
+    std::printf("  %-4s %.4f\n", dataset.features.Name(c).c_str(),
+                relevance[c]);
+  }
+
+  fastft::EngineConfig config;
+  config.episodes = 12;
+  config.steps_per_episode = 8;
+  config.cold_start_episodes = 3;
+  config.seed = 91;
+  fastft::FastFtEngine engine(config);
+  fastft::EngineResult result = engine.Run(dataset);
+
+  std::printf("\nbase AUC %.4f → best AUC %.4f\n", result.base_score,
+              result.best_score);
+
+  std::printf("\nmost relevant generated features:\n");
+  std::vector<double> transformed_relevance = fastft::FeatureRelevance(
+      result.best_dataset.features, result.best_dataset.labels,
+      result.best_dataset.task);
+  // Print generated columns sorted by relevance.
+  struct Entry {
+    double rel;
+    int col;
+  };
+  std::vector<Entry> entries;
+  for (int c = dataset.NumFeatures(); c < result.best_dataset.NumFeatures();
+       ++c) {
+    entries.push_back({transformed_relevance[c], c});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.rel > b.rel; });
+  for (size_t i = 0; i < entries.size() && i < 6; ++i) {
+    std::printf("  MI %.4f  %s\n", entries[i].rel,
+                result.best_dataset.features.Name(entries[i].col).c_str());
+  }
+  std::printf(
+      "\nthe high-MI generated features are product/difference crossings —\n"
+      "the reconstructed constraint that separates anomalies.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Cardiovascular-risk scenario (the paper's Fig. 15 case study, §VII-B).
+//
+// Builds a synthetic cardiovascular dataset where the risk depends on latent
+// interactions between lifestyle and medical indicators (e.g. a weight /
+// (activity × blood-pressure) style ratio), runs FastFT, and prints the
+// reward trace with the interpretable feature generated at each reward peak.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/engine.h"
+#include "data/dataset.h"
+
+namespace {
+
+// Hand-built cardio-like dataset: named columns, interaction-driven label.
+fastft::Dataset MakeCardioDataset(int samples, uint64_t seed) {
+  fastft::Rng rng(seed);
+  std::vector<double> age(samples), weight(samples), height(samples),
+      sbp(samples), dbp(samples), active(samples), smoke(samples),
+      chol(samples);
+  std::vector<double> label(samples);
+  for (int i = 0; i < samples; ++i) {
+    age[i] = rng.Uniform(30, 75);
+    height[i] = rng.Normal(170, 9);
+    weight[i] = rng.Normal(78, 14);
+    active[i] = rng.Uniform(0.2, 3.0);           // activity level
+    dbp[i] = 70 + 0.3 * (weight[i] - 78) - 4.0 * (active[i] - 1.5) +
+             rng.Normal(0, 6);
+    sbp[i] = dbp[i] + rng.Uniform(30, 50);
+    smoke[i] = rng.Bernoulli(0.25) ? 1.0 : 0.0;
+    chol[i] = rng.Normal(5.2, 1.0);
+    // Risk driven by interactions: abnormal DBP relative to weight/activity,
+    // BMI, and smoking × cholesterol.
+    double bmi = weight[i] / ((height[i] / 100) * (height[i] / 100));
+    double dbp_anomaly = dbp[i] * active[i] / weight[i];
+    double risk = 0.08 * (age[i] - 50) + 1.3 * (bmi - 26) / 5 +
+                  2.2 * (dbp_anomaly - 1.3) + 0.9 * smoke[i] * (chol[i] - 5) +
+                  rng.Normal(0, 0.7);
+    label[i] = risk > 0 ? 1.0 : 0.0;
+  }
+  fastft::Dataset ds;
+  ds.name = "CardioRisk";
+  ds.task = fastft::TaskType::kClassification;
+  auto add = [&](const char* name, std::vector<double> col) {
+    FASTFT_CHECK(ds.features.AddColumn(name, std::move(col)).ok());
+  };
+  add("Age", age);
+  add("Weight", weight);
+  add("Height", height);
+  add("SBP", sbp);
+  add("DBP", dbp);
+  add("Active", active);
+  add("Smoke", smoke);
+  add("Chol", chol);
+  ds.labels = std::move(label);
+  return ds;
+}
+
+}  // namespace
+
+int main() {
+  fastft::Dataset dataset = MakeCardioDataset(500, 11);
+  std::printf("CardioRisk: %d patients, %d indicators\n", dataset.NumRows(),
+              dataset.NumFeatures());
+
+  fastft::EngineConfig config;
+  config.episodes = 10;
+  config.steps_per_episode = 8;
+  config.cold_start_episodes = 3;
+  config.seed = 23;
+  fastft::FastFtEngine engine(config);
+  fastft::EngineResult result = engine.Run(dataset);
+
+  std::printf("base F1 %.4f → best F1 %.4f\n\n", result.base_score,
+              result.best_score);
+
+  // Reward peaks and their features — the Fig. 15 story: each peak is a
+  // traceable expression a domain expert can read.
+  std::printf("reward peaks and the features discovered there:\n");
+  double best_reward = -1e300;
+  for (const fastft::StepTrace& t : result.trace) {
+    if (t.reward > best_reward && !t.top_new_feature.empty()) {
+      best_reward = t.reward;
+      std::printf("  episode %2d step %d  reward %+.4f  %s\n", t.episode,
+                  t.step, t.reward, t.top_new_feature.c_str());
+    }
+  }
+
+  std::printf("\ntop generated features of the best dataset:\n");
+  for (int c = dataset.NumFeatures();
+       c < std::min(result.best_dataset.NumFeatures(),
+                    dataset.NumFeatures() + 8);
+       ++c) {
+    std::printf("  %s\n", result.best_dataset.features.Name(c).c_str());
+  }
+  std::printf(
+      "\ninterpretation: ratios such as Weight/(Active*DBP) flag blood\n"
+      "pressure values that deviate from the level expected for a patient's\n"
+      "weight and activity — exactly the traceable-feature story of the\n"
+      "paper's case study.\n");
+  return 0;
+}

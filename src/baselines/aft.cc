@@ -1,0 +1,100 @@
+#include "baselines/aft.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/feature_space.h"
+#include "core/mutual_information.h"
+
+namespace fastft {
+namespace {
+
+// Greedy mRMR-style selection: maximize relevance − mean redundancy with
+// the already-selected set.
+std::vector<int> GreedyMrmr(const DataFrame& frame,
+                            const std::vector<double>& labels, TaskType task,
+                            int k) {
+  const int d = frame.NumCols();
+  std::vector<double> relevance = FeatureRelevance(frame, labels, task);
+  std::vector<std::vector<int>> binned(d);
+  for (int c = 0; c < d; ++c) binned[c] = QuantileBin(frame.Col(c), 8);
+
+  std::vector<int> selected;
+  std::vector<bool> used(d, false);
+  while (static_cast<int>(selected.size()) < std::min(k, d)) {
+    int best = -1;
+    double best_score = -1e300;
+    for (int c = 0; c < d; ++c) {
+      if (used[c]) continue;
+      double redundancy = 0.0;
+      for (int s : selected) {
+        redundancy += DiscreteMutualInformation(binned[c], binned[s]);
+      }
+      if (!selected.empty()) {
+        redundancy /= static_cast<double>(selected.size());
+      }
+      double score = relevance[c] - redundancy;
+      if (score > best_score) {
+        best_score = score;
+        best = c;
+      }
+    }
+    if (best < 0) break;
+    used[best] = true;
+    selected.push_back(best);
+  }
+  std::sort(selected.begin(), selected.end());
+  return selected;
+}
+
+}  // namespace
+
+BaselineResult AftBaseline::Run(const Dataset& dataset) {
+  WallTimer timer;
+  BaselineResult result;
+  Rng rng(config_.seed);
+  EvaluatorConfig ec = config_.evaluator;
+  ec.seed = DeriveSeed(config_.seed, 1);
+  Evaluator evaluator(ec);
+
+  result.base_score = evaluator.Evaluate(dataset);
+  result.score = result.base_score;
+  result.best_dataset = dataset;
+
+  FeatureSpaceConfig fs;
+  fs.max_features = std::max(3 * dataset.NumFeatures(),
+                             config_.feature_budget * 2);
+  fs.max_new_per_step = 16;
+  FeatureSpace space(dataset, fs);
+
+  const int rounds = std::max(2, config_.iterations / 6);
+  for (int round = 0; round < rounds; ++round) {
+    // Expansion with a random operation pool.
+    const int pool = 6;
+    for (int p = 0; p < pool; ++p) {
+      OpType op = OpFromIndex(rng.UniformInt(kNumOperations));
+      std::vector<int> head = {rng.UniformInt(space.NumColumns())};
+      std::vector<int> tail;
+      if (!IsUnary(op)) tail = {rng.UniformInt(space.NumColumns())};
+      space.ApplyOperation(op, head, tail, &rng);
+    }
+    // Selection + evaluation.
+    Dataset expanded = space.ToDataset();
+    std::vector<int> keep =
+        GreedyMrmr(expanded.features, expanded.labels, expanded.task,
+                   config_.feature_budget);
+    Dataset selected =
+        expanded.WithFeatures(expanded.features.SelectColumns(keep));
+    double score = evaluator.Evaluate(selected);
+    if (score > result.score) {
+      result.score = score;
+      result.best_dataset = std::move(selected);
+    }
+  }
+  result.downstream_evaluations = evaluator.evaluation_count();
+  result.runtime_seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace fastft

@@ -1,0 +1,26 @@
+// AFT (autofeat-style, Table I baseline 4): alternating expand/select loop.
+//
+// Each round expands with a random pool of operations, then selects a
+// low-redundancy, high-relevance subset (greedy mRMR-style filter), and
+// evaluates the selected dataset; the best round wins.
+
+#ifndef FASTFT_BASELINES_AFT_H_
+#define FASTFT_BASELINES_AFT_H_
+
+#include "baselines/baseline.h"
+
+namespace fastft {
+
+class AftBaseline : public Baseline {
+ public:
+  explicit AftBaseline(const BaselineConfig& config) : config_(config) {}
+  BaselineResult Run(const Dataset& dataset) override;
+  const char* name() const override { return "AFT"; }
+
+ private:
+  BaselineConfig config_;
+};
+
+}  // namespace fastft
+
+#endif  // FASTFT_BASELINES_AFT_H_

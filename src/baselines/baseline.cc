@@ -1,0 +1,39 @@
+#include "baselines/baseline.h"
+
+#include "baselines/aft.h"
+#include "baselines/caafe_sim.h"
+#include "baselines/difer.h"
+#include "baselines/erg.h"
+#include "baselines/grfg.h"
+#include "baselines/lda.h"
+#include "baselines/nfs.h"
+#include "baselines/openfe.h"
+#include "baselines/rfg.h"
+#include "baselines/ttg.h"
+
+namespace fastft {
+
+const std::vector<std::string>& BaselineNames() {
+  static const std::vector<std::string>& names =
+      *new std::vector<std::string>{"RFG",   "ERG",    "LDA",   "AFT",
+                                    "NFS",   "TTG",    "DIFER", "OpenFE",
+                                    "CAAFE", "GRFG"};
+  return names;
+}
+
+std::unique_ptr<Baseline> MakeBaseline(const std::string& name,
+                                       const BaselineConfig& config) {
+  if (name == "RFG") return std::make_unique<RfgBaseline>(config);
+  if (name == "ERG") return std::make_unique<ErgBaseline>(config);
+  if (name == "LDA") return std::make_unique<LdaBaseline>(config);
+  if (name == "AFT") return std::make_unique<AftBaseline>(config);
+  if (name == "NFS") return std::make_unique<NfsBaseline>(config);
+  if (name == "TTG") return std::make_unique<TtgBaseline>(config);
+  if (name == "DIFER") return std::make_unique<DiferBaseline>(config);
+  if (name == "OpenFE") return std::make_unique<OpenFeBaseline>(config);
+  if (name == "CAAFE") return std::make_unique<CaafeSimBaseline>(config);
+  if (name == "GRFG") return std::make_unique<GrfgBaseline>(config);
+  return nullptr;
+}
+
+}  // namespace fastft

@@ -1,0 +1,59 @@
+// Common interface for the feature-transformation baselines of Table I.
+//
+// Each baseline consumes a dataset and produces its best transformed dataset
+// plus bookkeeping (runtime, downstream-evaluation count) used by the
+// runtime experiments (Fig. 9/10).
+
+#ifndef FASTFT_BASELINES_BASELINE_H_
+#define FASTFT_BASELINES_BASELINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "ml/evaluator.h"
+
+namespace fastft {
+
+struct BaselineConfig {
+  EvaluatorConfig evaluator;
+  /// Iteration budget for iterative methods.
+  int iterations = 24;
+  /// Cap on the transformed feature count.
+  int feature_budget = 48;
+  /// Simulated per-call LLM latency for CAAFE (seconds).
+  double caafe_llm_latency = 0.25;
+  uint64_t seed = 7;
+};
+
+struct BaselineResult {
+  double base_score = 0.0;
+  double score = 0.0;
+  Dataset best_dataset;
+  double runtime_seconds = 0.0;
+  int64_t downstream_evaluations = 0;
+};
+
+class Baseline {
+ public:
+  virtual ~Baseline() = default;
+
+  /// Runs the method; deterministic given config().seed.
+  virtual BaselineResult Run(const Dataset& dataset) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// Names accepted by MakeBaseline, in the paper's Table I column order.
+const std::vector<std::string>& BaselineNames();
+
+/// Factory: "RFG", "ERG", "LDA", "AFT", "NFS", "TTG", "DIFER", "OpenFE",
+/// "CAAFE", "GRFG". Returns nullptr for unknown names.
+std::unique_ptr<Baseline> MakeBaseline(const std::string& name,
+                                       const BaselineConfig& config);
+
+}  // namespace fastft
+
+#endif  // FASTFT_BASELINES_BASELINE_H_

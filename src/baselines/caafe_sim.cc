@@ -1,0 +1,114 @@
+#include "baselines/caafe_sim.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/timer.h"
+#include "core/expression.h"
+#include "core/mutual_information.h"
+
+namespace fastft {
+namespace {
+
+// Skewness proxy: |mean − median| / (stddev + eps).
+double SkewProxy(const std::vector<double>& values) {
+  Summary s = Summarize(values);
+  return std::abs(s.mean - s.median) / (s.stddev + 1e-9);
+}
+
+}  // namespace
+
+BaselineResult CaafeSimBaseline::Run(const Dataset& dataset) {
+  WallTimer timer;
+  BaselineResult result;
+  Rng rng(config_.seed);
+  EvaluatorConfig ec = config_.evaluator;
+  ec.seed = DeriveSeed(config_.seed, 1);
+  Evaluator evaluator(ec);
+
+  result.base_score = evaluator.Evaluate(dataset);
+  result.score = result.base_score;
+  result.best_dataset = dataset;
+
+  Dataset current = dataset;
+  double current_score = result.base_score;
+
+  std::vector<double> relevance = FeatureRelevance(
+      dataset.features, dataset.labels, dataset.task);
+  std::vector<std::vector<double>> originals;
+  for (int c = 0; c < dataset.NumFeatures(); ++c) {
+    originals.push_back(dataset.features.Col(c));
+  }
+  // Label-relevance ranking drives the "semantic" rules: CAAFE's LLM reads
+  // column descriptions; our stand-in reads statistics.
+  std::vector<int> by_relevance(dataset.NumFeatures());
+  for (int c = 0; c < dataset.NumFeatures(); ++c) by_relevance[c] = c;
+  std::sort(by_relevance.begin(), by_relevance.end(),
+            [&](int a, int b) { return relevance[a] > relevance[b]; });
+
+  const int llm_calls = 5;
+  for (int call = 0; call < llm_calls; ++call) {
+    // Simulated LLM latency — the dominant constant cost of real CAAFE.
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        config_.caafe_llm_latency));
+
+    // Propose a small batch of semantic-rule features.
+    std::vector<ExprPtr> proposals;
+    int top = std::min<int>(4, dataset.NumFeatures());
+    int a = by_relevance[rng.UniformInt(top)];
+    int b = by_relevance[rng.UniformInt(top)];
+    switch (call % 4) {
+      case 0:  // ratio of relevant columns
+        proposals.push_back(
+            MakeBinary(OpType::kDiv, MakeLeaf(a), MakeLeaf(b)));
+        break;
+      case 1:  // interaction product
+        proposals.push_back(
+            MakeBinary(OpType::kMul, MakeLeaf(a), MakeLeaf(b)));
+        break;
+      case 2: {  // log-transform the most skewed column
+        int most_skewed = 0;
+        double best_skew = -1.0;
+        for (int c = 0; c < dataset.NumFeatures(); ++c) {
+          double s = SkewProxy(originals[c]);
+          if (s > best_skew) {
+            best_skew = s;
+            most_skewed = c;
+          }
+        }
+        proposals.push_back(
+            MakeUnary(OpType::kLog1pAbs, MakeLeaf(most_skewed)));
+        break;
+      }
+      default:  // difference of related columns
+        proposals.push_back(
+            MakeBinary(OpType::kSub, MakeLeaf(a), MakeLeaf(b)));
+        break;
+    }
+
+    Dataset trial = current;
+    for (const ExprPtr& expr : proposals) {
+      std::vector<double> column = EvalExpr(expr, originals);
+      (void)trial.features.AddColumn(ExprToString(expr), std::move(column));
+    }
+    double score = evaluator.Evaluate(trial);
+    // CAAFE keeps a proposal batch only if it helps.
+    if (score > current_score) {
+      current_score = score;
+      current = std::move(trial);
+    }
+  }
+  if (current_score > result.score) {
+    result.score = current_score;
+    result.best_dataset = std::move(current);
+  }
+  result.downstream_evaluations = evaluator.evaluation_count();
+  result.runtime_seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace fastft

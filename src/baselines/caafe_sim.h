@@ -1,0 +1,32 @@
+// CAAFE simulator (Table I baseline 9).
+//
+// The real CAAFE queries a large language model with the dataset description
+// and iteratively accepts/rejects proposed semantic features. No LLM is
+// available offline, so this simulator reproduces CAAFE's *cost model and
+// acceptance loop*: each "LLM call" burns a configurable latency, proposes a
+// batch of semantic-rule features (ratios of scale-matched columns,
+// products of label-relevant pairs, log transforms of skewed columns), and
+// the batch is kept only if it improves the downstream score. The paper
+// uses CAAFE for accuracy-vs-runtime placement (Fig. 9/10) — exactly what
+// the latency + acceptance loop preserves (DESIGN.md §1).
+
+#ifndef FASTFT_BASELINES_CAAFE_SIM_H_
+#define FASTFT_BASELINES_CAAFE_SIM_H_
+
+#include "baselines/baseline.h"
+
+namespace fastft {
+
+class CaafeSimBaseline : public Baseline {
+ public:
+  explicit CaafeSimBaseline(const BaselineConfig& config) : config_(config) {}
+  BaselineResult Run(const Dataset& dataset) override;
+  const char* name() const override { return "CAAFE"; }
+
+ private:
+  BaselineConfig config_;
+};
+
+}  // namespace fastft
+
+#endif  // FASTFT_BASELINES_CAAFE_SIM_H_

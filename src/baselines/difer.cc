@@ -1,0 +1,157 @@
+#include "baselines/difer.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/performance_predictor.h"
+#include "core/tokenizer.h"
+
+namespace fastft {
+namespace {
+
+// Random expression of depth ≤ 3 over the original features.
+ExprPtr RandomExpr(int num_features, int depth, Rng* rng) {
+  if (depth <= 1 || rng->Bernoulli(0.3)) {
+    return MakeLeaf(rng->UniformInt(num_features));
+  }
+  OpType op = OpFromIndex(rng->UniformInt(kNumOperations));
+  if (IsUnary(op)) {
+    return MakeUnary(op, RandomExpr(num_features, depth - 1, rng));
+  }
+  return MakeBinary(op, RandomExpr(num_features, depth - 1, rng),
+                    RandomExpr(num_features, depth - 1, rng));
+}
+
+// Mutation: replace a random aspect — the root op, a leaf, or a subtree.
+ExprPtr Mutate(const ExprPtr& expr, int num_features, Rng* rng) {
+  switch (rng->UniformInt(3)) {
+    case 0:  // wrap in a unary op
+      return MakeUnary(OpFromIndex(rng->UniformInt(kNumUnaryOperations)),
+                       expr);
+    case 1:  // combine with a fresh leaf
+      return MakeBinary(
+          OpFromIndex(kNumUnaryOperations +
+                      rng->UniformInt(kNumOperations - kNumUnaryOperations)),
+          expr, MakeLeaf(rng->UniformInt(num_features)));
+    default:  // fresh subtree
+      return RandomExpr(num_features, 3, rng);
+  }
+}
+
+// Dataset = originals + this single candidate expression.
+Dataset WithExpression(const Dataset& dataset, const ExprPtr& expr) {
+  std::vector<std::vector<double>> originals;
+  originals.reserve(dataset.NumFeatures());
+  for (int c = 0; c < dataset.NumFeatures(); ++c) {
+    originals.push_back(dataset.features.Col(c));
+  }
+  std::vector<double> column = EvalExpr(expr, originals);
+  Dataset out = dataset;
+  std::string name = ExprToString(expr);
+  if (!out.features.AddColumn(name, std::move(column)).ok()) return dataset;
+  return out;
+}
+
+}  // namespace
+
+BaselineResult DiferBaseline::Run(const Dataset& dataset) {
+  WallTimer timer;
+  BaselineResult result;
+  Rng rng(config_.seed);
+  EvaluatorConfig ec = config_.evaluator;
+  ec.seed = DeriveSeed(config_.seed, 1);
+  Evaluator evaluator(ec);
+  Tokenizer tokenizer;
+
+  result.base_score = evaluator.Evaluate(dataset);
+  result.score = result.base_score;
+  result.best_dataset = dataset;
+
+  // Phase 1: random collection of (expression, score) pairs.
+  struct Scored {
+    ExprPtr expr;
+    double score;
+  };
+  std::vector<Scored> pool;
+  std::vector<SequenceRecord> records;
+  const int collect = std::max(6, config_.iterations / 3);
+  for (int i = 0; i < collect; ++i) {
+    ExprPtr expr = RandomExpr(dataset.NumFeatures(), 3, &rng);
+    double score = evaluator.Evaluate(WithExpression(dataset, expr));
+    pool.push_back({expr, score});
+    records.push_back({tokenizer.EncodeExpr(expr), score});
+  }
+
+  // Phase 2: surrogate training on the collected embeddings.
+  PredictorConfig pc;
+  pc.vocab_size = tokenizer.vocab_size();
+  pc.num_layers = 1;
+  pc.seed = DeriveSeed(config_.seed, 2);
+  PerformancePredictor surrogate(pc);
+  Rng train_rng(DeriveSeed(config_.seed, 3));
+  surrogate.Fit(records, /*epochs=*/20, &train_rng);
+
+  // Phase 3: greedy search in the learned space.
+  std::sort(pool.begin(), pool.end(),
+            [](const Scored& a, const Scored& b) { return a.score > b.score; });
+  const int rounds = 3;
+  const int mutants_per_round = 10;
+  const int evals_per_round = 2;
+  for (int round = 0; round < rounds; ++round) {
+    struct Ranked {
+      ExprPtr expr;
+      double predicted;
+    };
+    std::vector<Ranked> mutants;
+    const int parents = std::min<int>(3, static_cast<int>(pool.size()));
+    for (int m = 0; m < mutants_per_round; ++m) {
+      const ExprPtr& parent = pool[rng.UniformInt(parents)].expr;
+      ExprPtr mutant = Mutate(parent, dataset.NumFeatures(), &rng);
+      mutants.push_back(
+          {mutant, surrogate.Predict(tokenizer.EncodeExpr(mutant))});
+    }
+    std::sort(mutants.begin(), mutants.end(),
+              [](const Ranked& a, const Ranked& b) {
+                return a.predicted > b.predicted;
+              });
+    for (int e = 0; e < evals_per_round && e < static_cast<int>(mutants.size());
+         ++e) {
+      double score =
+          evaluator.Evaluate(WithExpression(dataset, mutants[e].expr));
+      pool.push_back({mutants[e].expr, score});
+      records.push_back({tokenizer.EncodeExpr(mutants[e].expr), score});
+    }
+    surrogate.Finetune(records);
+    std::sort(pool.begin(), pool.end(), [](const Scored& a, const Scored& b) {
+      return a.score > b.score;
+    });
+  }
+
+  // Final dataset: originals + the top-k discovered expressions.
+  Dataset final_dataset = dataset;
+  std::vector<std::vector<double>> originals;
+  for (int c = 0; c < dataset.NumFeatures(); ++c) {
+    originals.push_back(dataset.features.Col(c));
+  }
+  const int top_k = std::min<int>(8, static_cast<int>(pool.size()));
+  for (int k = 0; k < top_k; ++k) {
+    if (pool[k].score <= result.base_score) break;
+    std::vector<double> column = EvalExpr(pool[k].expr, originals);
+    (void)final_dataset.features.AddColumn(ExprToString(pool[k].expr),
+                                           std::move(column));
+  }
+  double final_score = evaluator.Evaluate(final_dataset);
+  if (final_score > result.score) {
+    result.score = final_score;
+    result.best_dataset = std::move(final_dataset);
+  } else if (!pool.empty() && pool[0].score > result.score) {
+    result.score = pool[0].score;
+    result.best_dataset = WithExpression(dataset, pool[0].expr);
+  }
+  result.downstream_evaluations = evaluator.evaluation_count();
+  result.runtime_seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace fastft

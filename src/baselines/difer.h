@@ -1,0 +1,28 @@
+// DIFER (Table I baseline 7): differentiable/embedding-space feature search.
+//
+// Collects (expression, score) pairs from random exploration, trains a
+// sequence surrogate (the shared LSTM encoder + regressor), then performs a
+// greedy search: mutate the best expressions, rank mutants by the
+// surrogate, and spend the scarce downstream evaluations only on the
+// surrogate's top picks.
+
+#ifndef FASTFT_BASELINES_DIFER_H_
+#define FASTFT_BASELINES_DIFER_H_
+
+#include "baselines/baseline.h"
+
+namespace fastft {
+
+class DiferBaseline : public Baseline {
+ public:
+  explicit DiferBaseline(const BaselineConfig& config) : config_(config) {}
+  BaselineResult Run(const Dataset& dataset) override;
+  const char* name() const override { return "DIFER"; }
+
+ private:
+  BaselineConfig config_;
+};
+
+}  // namespace fastft
+
+#endif  // FASTFT_BASELINES_DIFER_H_

@@ -1,0 +1,26 @@
+// ERG: expand-reduce generation (Table I baseline 2).
+//
+// Applies every unary operation to every feature and every binary operation
+// to a sampled set of feature pairs (one big expansion), then reduces with
+// MI-based top-k selection and evaluates the reduced dataset.
+
+#ifndef FASTFT_BASELINES_ERG_H_
+#define FASTFT_BASELINES_ERG_H_
+
+#include "baselines/baseline.h"
+
+namespace fastft {
+
+class ErgBaseline : public Baseline {
+ public:
+  explicit ErgBaseline(const BaselineConfig& config) : config_(config) {}
+  BaselineResult Run(const Dataset& dataset) override;
+  const char* name() const override { return "ERG"; }
+
+ private:
+  BaselineConfig config_;
+};
+
+}  // namespace fastft
+
+#endif  // FASTFT_BASELINES_ERG_H_

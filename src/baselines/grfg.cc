@@ -1,0 +1,36 @@
+#include "baselines/grfg.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+#include "core/engine.h"
+
+namespace fastft {
+
+BaselineResult GrfgBaseline::Run(const Dataset& dataset) {
+  WallTimer timer;
+  EngineConfig cfg;
+  cfg.use_performance_predictor = false;  // downstream evaluation every step
+  cfg.use_novelty = false;
+  cfg.prioritized_replay = false;
+  cfg.episodes = std::max(3, config_.iterations / 6);
+  cfg.steps_per_episode = 6;
+  cfg.cold_start_episodes = 1;
+  cfg.evaluator = config_.evaluator;
+  cfg.feature_space.max_features =
+      std::max(config_.feature_budget, dataset.NumFeatures() + 8);
+  cfg.seed = config_.seed;
+
+  FastFtEngine engine(cfg);
+  EngineResult er = engine.Run(dataset);
+
+  BaselineResult result;
+  result.base_score = er.base_score;
+  result.score = er.best_score;
+  result.best_dataset = std::move(er.best_dataset);
+  result.downstream_evaluations = er.downstream_evaluations;
+  result.runtime_seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace fastft

@@ -1,0 +1,27 @@
+// GRFG (Table I baseline 10): group-wise reinforcement feature generation.
+//
+// The paper's closest prior work: the same cascading-agent, group-wise
+// crossing machinery as FastFT, but *every* step is evaluated with the
+// downstream task, there is no novelty reward, and replay is uniform. This
+// wrapper configures the FastFT engine accordingly.
+
+#ifndef FASTFT_BASELINES_GRFG_H_
+#define FASTFT_BASELINES_GRFG_H_
+
+#include "baselines/baseline.h"
+
+namespace fastft {
+
+class GrfgBaseline : public Baseline {
+ public:
+  explicit GrfgBaseline(const BaselineConfig& config) : config_(config) {}
+  BaselineResult Run(const Dataset& dataset) override;
+  const char* name() const override { return "GRFG"; }
+
+ private:
+  BaselineConfig config_;
+};
+
+}  // namespace fastft
+
+#endif  // FASTFT_BASELINES_GRFG_H_

@@ -1,0 +1,30 @@
+// LDA baseline (Table I baseline 3): unsupervised linear projection.
+//
+// The paper uses Latent Dirichlet Allocation as its dimensionality-reduction
+// baseline. Offline we substitute an *unsupervised* linear projection
+// (power-iteration PCA to d/4 components) — like LDA it reduces the table
+// without looking at labels, playing the same role in Table I: a reduction
+// baseline that discards interaction information. A supervised projector
+// (e.g. Fisher LDA fit on all rows) would leak labels into the
+// cross-validated evaluation, so it is deliberately avoided (DESIGN.md §4).
+
+#ifndef FASTFT_BASELINES_LDA_H_
+#define FASTFT_BASELINES_LDA_H_
+
+#include "baselines/baseline.h"
+
+namespace fastft {
+
+class LdaBaseline : public Baseline {
+ public:
+  explicit LdaBaseline(const BaselineConfig& config) : config_(config) {}
+  BaselineResult Run(const Dataset& dataset) override;
+  const char* name() const override { return "LDA"; }
+
+ private:
+  BaselineConfig config_;
+};
+
+}  // namespace fastft
+
+#endif  // FASTFT_BASELINES_LDA_H_

@@ -1,0 +1,28 @@
+// NFS (Table I baseline 5): neural feature search.
+//
+// A recurrent controller emits a transformation chain per original feature
+// (operation tokens, with an explicit STOP); sampled plans are applied and
+// evaluated downstream, and the controller is trained with REINFORCE against
+// a running-mean baseline. Binary operations pair the feature with a
+// controller-sampled partner.
+
+#ifndef FASTFT_BASELINES_NFS_H_
+#define FASTFT_BASELINES_NFS_H_
+
+#include "baselines/baseline.h"
+
+namespace fastft {
+
+class NfsBaseline : public Baseline {
+ public:
+  explicit NfsBaseline(const BaselineConfig& config) : config_(config) {}
+  BaselineResult Run(const Dataset& dataset) override;
+  const char* name() const override { return "NFS"; }
+
+ private:
+  BaselineConfig config_;
+};
+
+}  // namespace fastft
+
+#endif  // FASTFT_BASELINES_NFS_H_

@@ -1,0 +1,27 @@
+// OpenFE (Table I baseline 8): feature boosting + two-stage pruning.
+//
+// Enumerates candidate features, scores them by *feature boost* — the
+// information a candidate carries about the base model's residual — on a
+// cheap data block (stage 1), then promotes the top slice and greedily
+// accepts candidates that improve the cross-validated score (stage 2).
+
+#ifndef FASTFT_BASELINES_OPENFE_H_
+#define FASTFT_BASELINES_OPENFE_H_
+
+#include "baselines/baseline.h"
+
+namespace fastft {
+
+class OpenFeBaseline : public Baseline {
+ public:
+  explicit OpenFeBaseline(const BaselineConfig& config) : config_(config) {}
+  BaselineResult Run(const Dataset& dataset) override;
+  const char* name() const override { return "OpenFE"; }
+
+ private:
+  BaselineConfig config_;
+};
+
+}  // namespace fastft
+
+#endif  // FASTFT_BASELINES_OPENFE_H_

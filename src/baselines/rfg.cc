@@ -1,0 +1,44 @@
+#include "baselines/rfg.h"
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/feature_space.h"
+
+namespace fastft {
+
+BaselineResult RfgBaseline::Run(const Dataset& dataset) {
+  WallTimer timer;
+  BaselineResult result;
+  Rng rng(config_.seed);
+  EvaluatorConfig ec = config_.evaluator;
+  ec.seed = DeriveSeed(config_.seed, 1);
+  Evaluator evaluator(ec);
+
+  FeatureSpaceConfig fs;
+  fs.max_features = std::max(config_.feature_budget,
+                             dataset.NumFeatures() + 8);
+  FeatureSpace space(dataset, fs);
+
+  result.base_score = evaluator.Evaluate(dataset);
+  result.score = result.base_score;
+  result.best_dataset = dataset;
+
+  for (int it = 0; it < config_.iterations; ++it) {
+    OpType op = OpFromIndex(rng.UniformInt(kNumOperations));
+    std::vector<int> head = {rng.UniformInt(space.NumColumns())};
+    std::vector<int> tail;
+    if (!IsUnary(op)) tail = {rng.UniformInt(space.NumColumns())};
+    int added = space.ApplyOperation(op, head, tail, &rng);
+    if (added == 0) continue;
+    double score = evaluator.Evaluate(space.ToDataset());
+    if (score > result.score) {
+      result.score = score;
+      result.best_dataset = space.ToDataset();
+    }
+  }
+  result.downstream_evaluations = evaluator.evaluation_count();
+  result.runtime_seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace fastft

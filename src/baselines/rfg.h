@@ -1,0 +1,26 @@
+// RFG: random feature generation (Table I baseline 1).
+//
+// Each iteration applies a uniformly random operation to uniformly random
+// candidate feature(s), evaluates the resulting dataset downstream, and
+// keeps the best dataset seen.
+
+#ifndef FASTFT_BASELINES_RFG_H_
+#define FASTFT_BASELINES_RFG_H_
+
+#include "baselines/baseline.h"
+
+namespace fastft {
+
+class RfgBaseline : public Baseline {
+ public:
+  explicit RfgBaseline(const BaselineConfig& config) : config_(config) {}
+  BaselineResult Run(const Dataset& dataset) override;
+  const char* name() const override { return "RFG"; }
+
+ private:
+  BaselineConfig config_;
+};
+
+}  // namespace fastft
+
+#endif  // FASTFT_BASELINES_RFG_H_

@@ -1,0 +1,27 @@
+// TTG (Table I baseline 6): transformation-graph exploration.
+//
+// Nodes are datasets; an edge applies one operation dataset-wide (unary ops
+// to every column, binary ops between sampled column pairs). A tabular
+// Q-function over (node, operation) is learned ε-greedily; each expansion
+// evaluates the child dataset downstream, and the best node wins.
+
+#ifndef FASTFT_BASELINES_TTG_H_
+#define FASTFT_BASELINES_TTG_H_
+
+#include "baselines/baseline.h"
+
+namespace fastft {
+
+class TtgBaseline : public Baseline {
+ public:
+  explicit TtgBaseline(const BaselineConfig& config) : config_(config) {}
+  BaselineResult Run(const Dataset& dataset) override;
+  const char* name() const override { return "TTG"; }
+
+ private:
+  BaselineConfig config_;
+};
+
+}  // namespace fastft
+
+#endif  // FASTFT_BASELINES_TTG_H_

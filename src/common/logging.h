@@ -1,0 +1,65 @@
+// Minimal leveled logging and CHECK macros.
+//
+// FASTFT_CHECK* enforce internal invariants; violation aborts with a message.
+// Logging defaults to kWarning so benchmarks stay quiet; harnesses can raise
+// verbosity with SetLogLevel.
+
+#ifndef FASTFT_COMMON_LOGGING_H_
+#define FASTFT_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace fastft {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line; emits on destruction. `fatal` aborts the process.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace fastft
+
+#define FASTFT_LOG(level)                                               \
+  ::fastft::internal::LogMessage(::fastft::LogLevel::k##level, __FILE__, \
+                                 __LINE__)
+
+#define FASTFT_CHECK(cond)                                                  \
+  if (!(cond))                                                              \
+  ::fastft::internal::LogMessage(::fastft::LogLevel::kError, __FILE__,      \
+                                 __LINE__, /*fatal=*/true)                  \
+      << "Check failed: " #cond " "
+
+#define FASTFT_CHECK_EQ(a, b) FASTFT_CHECK((a) == (b))
+#define FASTFT_CHECK_NE(a, b) FASTFT_CHECK((a) != (b))
+#define FASTFT_CHECK_LT(a, b) FASTFT_CHECK((a) < (b))
+#define FASTFT_CHECK_LE(a, b) FASTFT_CHECK((a) <= (b))
+#define FASTFT_CHECK_GT(a, b) FASTFT_CHECK((a) > (b))
+#define FASTFT_CHECK_GE(a, b) FASTFT_CHECK((a) >= (b))
+
+#endif  // FASTFT_COMMON_LOGGING_H_

@@ -1,0 +1,49 @@
+#include "common/rng.h"
+
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace fastft {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t DeriveSeed(uint64_t root, uint64_t index) {
+  uint64_t state = root ^ (0xA0761D6478BD642FULL * (index + 1));
+  return SplitMix64(state);
+}
+
+int Rng::SampleDiscrete(const std::vector<double>& weights) {
+  FASTFT_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    FASTFT_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  if (total <= 1e-300) return UniformInt(static_cast<int>(weights.size()));
+  double r = Uniform() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return static_cast<int>(i);
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  FASTFT_CHECK_GE(n, 0);
+  if (k > n) k = n;
+  std::vector<int> all(n);
+  std::iota(all.begin(), all.end(), 0);
+  Shuffle(all);
+  all.resize(k);
+  return all;
+}
+
+}  // namespace fastft

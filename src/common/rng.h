@@ -1,0 +1,67 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in fastft takes an explicit uint64 seed.
+// SplitMix64 derives independent stream seeds from a root seed so that
+// adding a consumer never perturbs the draws of existing consumers.
+
+#ifndef FASTFT_COMMON_RNG_H_
+#define FASTFT_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace fastft {
+
+/// Stateless SplitMix64 step: maps a seed to a well-mixed 64-bit value.
+uint64_t SplitMix64(uint64_t& state);
+
+/// Derives the `index`-th child seed of `root` (stable across platforms).
+uint64_t DeriveSeed(uint64_t root, uint64_t index);
+
+/// Convenience wrapper around std::mt19937_64 with typed draw helpers.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double Uniform() { return unit_(engine_); }
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+  /// Uniform integer in [0, n). Requires n > 0.
+  int UniformInt(int n) {
+    return static_cast<int>(engine_() % static_cast<uint64_t>(n));
+  }
+  /// Standard normal draw.
+  double Normal() { return normal_(engine_); }
+  double Normal(double mean, double stddev) { return mean + stddev * Normal(); }
+  /// Bernoulli draw with probability p of true.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Samples an index from unnormalized non-negative weights.
+  /// Falls back to uniform when all weights are ~0.
+  int SampleDiscrete(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = engine_() % i;
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Returns k distinct indices drawn from [0, n) (k clamped to n).
+  std::vector<int> SampleWithoutReplacement(int n, int k);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+  std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+}  // namespace fastft
+
+#endif  // FASTFT_COMMON_RNG_H_

@@ -1,0 +1,118 @@
+// Arrow-style Status / Result types used at fastft API boundaries.
+//
+// The library does not throw exceptions across its public API. Operations
+// that can fail (parsing, shape mismatches, invalid configuration) return a
+// `Status`, or a `Result<T>` when they also produce a value. Internal
+// invariants are enforced with FASTFT_CHECK (see logging.h).
+
+#ifndef FASTFT_COMMON_STATUS_H_
+#define FASTFT_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace fastft {
+
+/// Error category carried by a non-ok Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kIOError,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Lightweight success-or-error value. Cheap to copy when ok.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" string.
+  std::string ToString() const {
+    if (ok()) return "OK";
+    const char* name = "Unknown";
+    switch (code_) {
+      case StatusCode::kOk: name = "OK"; break;
+      case StatusCode::kInvalidArgument: name = "InvalidArgument"; break;
+      case StatusCode::kOutOfRange: name = "OutOfRange"; break;
+      case StatusCode::kNotFound: name = "NotFound"; break;
+      case StatusCode::kIOError: name = "IOError"; break;
+      case StatusCode::kUnimplemented: name = "Unimplemented"; break;
+      case StatusCode::kInternal: name = "Internal"; break;
+    }
+    return std::string(name) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-Status. Mirrors arrow::Result: exactly one of the two is held.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value / from error, mirroring arrow::Result ergonomics.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                          // NOLINT(runtime/explicit)
+      : repr_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Status of the result; OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Requires ok(). Undefined behaviour otherwise (checked in debug).
+  const T& value() const& { return std::get<T>(repr_); }
+  T& value() & { return std::get<T>(repr_); }
+  T&& value() && { return std::get<T>(std::move(repr_)); }
+
+  /// Moves the value out; requires ok().
+  T ValueOrDie() && { return std::get<T>(std::move(repr_)); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace fastft
+
+/// Propagates a non-ok Status to the caller.
+#define FASTFT_RETURN_NOT_OK(expr)            \
+  do {                                        \
+    ::fastft::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+#endif  // FASTFT_COMMON_STATUS_H_

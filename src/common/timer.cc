@@ -1,0 +1,22 @@
+#include "common/timer.h"
+
+namespace fastft {
+
+void TimeBuckets::Add(const std::string& bucket, double seconds) {
+  buckets_[bucket] += seconds;
+}
+
+double TimeBuckets::Get(const std::string& bucket) const {
+  auto it = buckets_.find(bucket);
+  return it == buckets_.end() ? 0.0 : it->second;
+}
+
+double TimeBuckets::Total() const {
+  double total = 0.0;
+  for (const auto& [name, secs] : buckets_) total += secs;
+  return total;
+}
+
+void TimeBuckets::Clear() { buckets_.clear(); }
+
+}  // namespace fastft

@@ -1,0 +1,60 @@
+// Wall-clock timing utilities for the runtime experiments (Tables II, Fig. 9/10).
+
+#ifndef FASTFT_COMMON_TIMER_H_
+#define FASTFT_COMMON_TIMER_H_
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace fastft {
+
+/// Simple wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+  void Restart() { start_ = Clock::now(); }
+  /// Seconds elapsed since construction / last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed seconds into named buckets; used by the engine to
+/// report the Optimization / Estimation / Evaluation breakdown of Table II.
+class TimeBuckets {
+ public:
+  void Add(const std::string& bucket, double seconds);
+  double Get(const std::string& bucket) const;
+  double Total() const;
+  void Clear();
+  const std::map<std::string, double>& buckets() const { return buckets_; }
+
+ private:
+  std::map<std::string, double> buckets_;
+};
+
+/// RAII guard that adds its lifetime to one bucket.
+class ScopedTimer {
+ public:
+  ScopedTimer(TimeBuckets* buckets, std::string bucket)
+      : buckets_(buckets), bucket_(std::move(bucket)) {}
+  ~ScopedTimer() {
+    if (buckets_ != nullptr) buckets_->Add(bucket_, timer_.Seconds());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimeBuckets* buckets_;
+  std::string bucket_;
+  WallTimer timer_;
+};
+
+}  // namespace fastft
+
+#endif  // FASTFT_COMMON_TIMER_H_

@@ -1,0 +1,106 @@
+// Cascading reinforcement-learning agents (paper §III-B, Definition 3).
+//
+// Three agents act in cascade: the head agent scores candidate clusters from
+// Rep(C_i) ⊕ Rep(F̂); the operation agent picks o from Rep(a_h) ⊕ Rep(F̂);
+// the tail agent (binary ops only) scores clusters from
+// Rep(a_h) ⊕ Rep(F̂) ⊕ Rep(a_o) ⊕ Rep(C_i). The default learner is
+// advantage actor-critic (Eq. 9) trained from prioritized replay samples;
+// q_agents.h provides the DQN-family alternatives of Fig. 7.
+
+#ifndef FASTFT_CORE_AGENTS_H_
+#define FASTFT_CORE_AGENTS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/operations.h"
+#include "core/replay_buffer.h"
+#include "core/state.h"
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+
+namespace fastft {
+
+class Rng;
+
+struct AgentConfig {
+  int hidden_dim = 32;
+  double actor_lr = 3e-3;
+  double critic_lr = 3e-3;
+  double gamma = 0.9;
+  /// Softmax temperature for action sampling (actor-critic).
+  double temperature = 1.0;
+  /// Residual uniform-random action probability.
+  double epsilon = 0.10;
+  uint64_t seed = 1234;
+};
+
+/// Interface shared by the actor-critic cascade and the Q-learning cascades.
+class CascadePolicy {
+ public:
+  virtual ~CascadePolicy() = default;
+
+  /// Samples a head cluster given one input row per candidate.
+  virtual int SelectHead(const nn::Matrix& candidates, Rng* rng) = 0;
+  /// Samples an operation given the single op-agent input row.
+  virtual int SelectOperation(const nn::Matrix& input, Rng* rng) = 0;
+  /// Samples a tail cluster given one input row per candidate.
+  virtual int SelectTail(const nn::Matrix& candidates, Rng* rng) = 0;
+
+  /// One gradient update from a replayed transition.
+  virtual void Optimize(const Transition& transition) = 0;
+
+  /// TD error r + γV(s') − V(s) (priority signal, Eq. 10).
+  virtual double TdError(const Transition& transition) = 0;
+
+  /// Name for benchmark tables.
+  virtual const char* name() const = 0;
+
+  /// Sets the residual uniform-random action probability (the engine
+  /// anneals this from exploration toward exploitation).
+  virtual void SetExplorationRate(double epsilon) = 0;
+
+  /// Input widths implied by the state representation.
+  static int HeadInputDim() { return 2 * kStateDim; }
+  static int OpInputDim() { return 2 * kStateDim; }
+  static int TailInputDim() { return 3 * kStateDim + kNumOperations; }
+};
+
+/// Advantage actor-critic cascade (the FastFT default).
+class CascadingAgents : public CascadePolicy {
+ public:
+  explicit CascadingAgents(const AgentConfig& config);
+
+  int SelectHead(const nn::Matrix& candidates, Rng* rng) override;
+  int SelectOperation(const nn::Matrix& input, Rng* rng) override;
+  int SelectTail(const nn::Matrix& candidates, Rng* rng) override;
+  void Optimize(const Transition& transition) override;
+  double TdError(const Transition& transition) override;
+  const char* name() const override { return "ActorCritic"; }
+  void SetExplorationRate(double epsilon) override {
+    config_.epsilon = epsilon;
+  }
+
+  /// Critic estimate V(s) of a 49-dim state.
+  double Value(const std::vector<double>& state);
+
+ private:
+  int SampleFromScores(const nn::Matrix& scores, Rng* rng);
+  void ActorUpdate(nn::Mlp* net, nn::AdamOptimizer* optimizer,
+                   const nn::Matrix& inputs, int action, double advantage,
+                   bool logits_row);
+
+  AgentConfig config_;
+  nn::Mlp head_net_, op_net_, tail_net_, critic_;
+  std::unique_ptr<nn::AdamOptimizer> head_opt_, op_opt_, tail_opt_,
+      critic_opt_;
+};
+
+/// Softmax with temperature over a column of scores.
+std::vector<double> SoftmaxScores(const nn::Matrix& scores,
+                                  double temperature);
+
+}  // namespace fastft
+
+#endif  // FASTFT_CORE_AGENTS_H_

@@ -1,0 +1,410 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "core/mutual_information.h"
+#include "core/state.h"
+
+namespace fastft {
+namespace {
+
+constexpr char kOpt[] = "optimization";
+constexpr char kEst[] = "estimation";
+constexpr char kEval[] = "evaluation";
+
+std::unique_ptr<CascadePolicy> MakePolicy(const EngineConfig& config) {
+  switch (config.framework) {
+    case RlFramework::kActorCritic: {
+      AgentConfig ac = config.agent;
+      ac.seed = DeriveSeed(config.seed, 11);
+      return std::make_unique<CascadingAgents>(ac);
+    }
+    case RlFramework::kDqn:
+    case RlFramework::kDoubleDqn:
+    case RlFramework::kDuelingDqn:
+    case RlFramework::kDuelingDoubleDqn: {
+      QAgentConfig qc = config.q_agent;
+      qc.seed = DeriveSeed(config.seed, 12);
+      QVariant variant = QVariant::kDqn;
+      if (config.framework == RlFramework::kDoubleDqn) {
+        variant = QVariant::kDoubleDqn;
+      } else if (config.framework == RlFramework::kDuelingDqn) {
+        variant = QVariant::kDuelingDqn;
+      } else if (config.framework == RlFramework::kDuelingDoubleDqn) {
+        variant = QVariant::kDuelingDoubleDqn;
+      }
+      return std::make_unique<QCascade>(variant, qc);
+    }
+  }
+  FASTFT_CHECK(false) << "unreachable";
+  return nullptr;
+}
+
+// Builds one input row per candidate cluster for the head agent.
+nn::Matrix BuildHeadInputs(const FeatureSpace& space,
+                           const std::vector<std::vector<int>>& clusters,
+                           const std::vector<double>& overall) {
+  nn::Matrix inputs(static_cast<int>(clusters.size()),
+                    CascadePolicy::HeadInputDim());
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    std::vector<double> row = Concat(ClusterState(space, clusters[i]),
+                                     overall);
+    for (size_t j = 0; j < row.size(); ++j) {
+      inputs(static_cast<int>(i), static_cast<int>(j)) = row[j];
+    }
+  }
+  return inputs;
+}
+
+nn::Matrix RowToMatrix(const std::vector<double>& row) {
+  nn::Matrix m(1, static_cast<int>(row.size()));
+  for (size_t j = 0; j < row.size(); ++j) {
+    m(0, static_cast<int>(j)) = row[j];
+  }
+  return m;
+}
+
+// Upper percentile threshold: values >= threshold are in the top-p percent.
+double TopPercentileThreshold(std::vector<double> values, double percent) {
+  if (values.empty()) return std::numeric_limits<double>::infinity();
+  return Quantile(std::move(values), 1.0 - percent / 100.0);
+}
+
+}  // namespace
+
+const char* RlFrameworkName(RlFramework framework) {
+  switch (framework) {
+    case RlFramework::kActorCritic:
+      return "ActorCritic";
+    case RlFramework::kDqn:
+      return "DQN";
+    case RlFramework::kDoubleDqn:
+      return "DDQN";
+    case RlFramework::kDuelingDqn:
+      return "DuelingDQN";
+    case RlFramework::kDuelingDoubleDqn:
+      return "DuelingDDQN";
+  }
+  return "?";
+}
+
+FastFtEngine::FastFtEngine(EngineConfig config) : config_(std::move(config)) {}
+
+EngineResult FastFtEngine::Run(const Dataset& dataset) {
+  FASTFT_CHECK(dataset.Validate().ok()) << dataset.Validate().ToString();
+  EngineResult result;
+  Rng rng(config_.seed);
+
+  // Substrate setup.
+  FeatureSpaceConfig fs_config = config_.feature_space;
+  fs_config.max_features =
+      std::max(fs_config.max_features, dataset.NumFeatures() + 16);
+  FeatureSpace space(dataset, fs_config);
+  Tokenizer tokenizer(config_.tokenizer_feature_buckets,
+                      config_.tokenizer_max_length);
+
+  EvaluatorConfig eval_config = config_.evaluator;
+  eval_config.seed = DeriveSeed(config_.seed, 21);
+  Evaluator evaluator(eval_config);
+
+  PredictorConfig pp_config;
+  pp_config.backbone = config_.backbone;
+  pp_config.vocab_size = tokenizer.vocab_size();
+  pp_config.seed = DeriveSeed(config_.seed, 22);
+  PerformancePredictor predictor(pp_config);
+
+  NoveltyConfig ne_config;
+  ne_config.backbone = config_.backbone;
+  ne_config.vocab_size = tokenizer.vocab_size();
+  ne_config.seed = DeriveSeed(config_.seed, 23);
+  NoveltyEstimator novelty(ne_config);
+
+  std::unique_ptr<CascadePolicy> policy = MakePolicy(config_);
+  PrioritizedReplayBuffer buffer(config_.memory_size);
+
+  // Baseline downstream score of the untouched dataset.
+  {
+    ScopedTimer timer(&result.times, kEval);
+    result.base_score = evaluator.Evaluate(dataset);
+    ++result.downstream_evaluations;
+  }
+  result.best_score = result.base_score;
+  result.best_dataset = dataset;
+
+  // Histories for percentile triggers and component training. Predicted
+  // performance and novelty both grow systematically within an episode (the
+  // token sequence lengthens every step), so percentiles are tracked *per
+  // step index*: a step triggers when it is exceptional among steps at the
+  // same position, not merely because it is late in its episode.
+  std::vector<SequenceRecord> sequence_records;  // downstream-scored only
+  std::vector<std::vector<double>> prediction_history(
+      config_.steps_per_episode);
+  std::vector<std::vector<double>> novelty_history(config_.steps_per_episode);
+  bool components_ready = false;
+  // Downstream-evaluation budget for the exploration phase: the percentile
+  // triggers aim at evaluating the top α% + β% of steps, but with short
+  // histories every record-breaking step would fire (P ≈ 1/(n+1) per step).
+  // The cap enforces the intended rate at any run length.
+  int64_t warm_steps = 0;
+  int64_t warm_evals = 0;
+  // Running mean of observed novelty scores: the Eq. 6 bonus is applied
+  // *centered* so that only above-average novelty is reinforced. An
+  // uncentered (always-positive) bonus uniformly inflates advantages and
+  // collapses the softmax policy onto whatever it just did — the opposite
+  // of exploration — before the critic can absorb the offset.
+  double novelty_mean = 0.0;
+  int64_t novelty_count = 0;
+
+  // Fig. 14 bookkeeping.
+  std::vector<std::vector<double>> embedding_history;
+  std::unordered_set<uint64_t> seen_expressions;
+
+  int global_step = 0;
+  for (int episode = 0; episode < config_.episodes; ++episode) {
+    space.Reset();
+    double prev_perf = result.base_score;
+    const bool cold = episode < config_.cold_start_episodes;
+
+    for (int step = 0; step < config_.steps_per_episode; ++step) {
+      // Anneal random exploration toward strategy-driven selection.
+      policy->SetExplorationRate(
+          config_.epsilon_end +
+          (config_.epsilon_start - config_.epsilon_end) *
+              std::exp(-static_cast<double>(global_step) /
+                       std::max(config_.epsilon_decay_steps, 1)));
+      Transition t;
+      int added = 0;
+      {
+        ScopedTimer timer(&result.times, kOpt);
+        std::vector<std::vector<int>> clusters =
+            ClusterFeatures(space, config_.clustering);
+        std::vector<double> overall = FeatureSetState(space);
+        t.state = overall;
+
+        t.head_inputs = BuildHeadInputs(space, clusters, overall);
+        t.head_action = policy->SelectHead(t.head_inputs, &rng);
+        const std::vector<int>& head_cluster = clusters[t.head_action];
+
+        std::vector<double> head_rep = ClusterState(space, head_cluster);
+        t.op_input = RowToMatrix(Concat(head_rep, overall));
+        t.op_action = policy->SelectOperation(t.op_input, &rng);
+        OpType op = OpFromIndex(t.op_action);
+
+        std::vector<int> tail_cluster;
+        if (!IsUnary(op)) {
+          nn::Matrix tail_inputs(static_cast<int>(clusters.size()),
+                                 CascadePolicy::TailInputDim());
+          std::vector<double> prefix =
+              Concat(Concat(head_rep, overall), OperationOneHot(op));
+          for (size_t i = 0; i < clusters.size(); ++i) {
+            std::vector<double> row =
+                Concat(prefix, ClusterState(space, clusters[i]));
+            for (size_t j = 0; j < row.size(); ++j) {
+              tail_inputs(static_cast<int>(i), static_cast<int>(j)) = row[j];
+            }
+          }
+          t.tail_inputs = tail_inputs;
+          t.tail_action = policy->SelectTail(tail_inputs, &rng);
+          tail_cluster = clusters[t.tail_action];
+        }
+
+        added = space.ApplyOperation(op, head_cluster, tail_cluster, &rng);
+        t.next_state = FeatureSetState(space);
+        // Candidates at the next state — only the Q-learning variants need
+        // them for bootstrap targets; skip the extra clustering otherwise.
+        if (config_.framework != RlFramework::kActorCritic) {
+          std::vector<std::vector<int>> next_clusters =
+              ClusterFeatures(space, config_.clustering);
+          t.next_head_inputs =
+              BuildHeadInputs(space, next_clusters, t.next_state);
+        }
+      }
+      const bool generated_new = added > 0;
+
+      t.tokens = space.SequenceTokens(tokenizer);
+      const std::vector<int> step_tokens = t.tokens;
+
+      // --- Reward estimation (Algorithm 2 lines 4-10). ---
+      double predicted = 0.0;
+      double novelty_score = 0.0;
+      if (components_ready) {
+        ScopedTimer timer(&result.times, kEst);
+        if (config_.use_performance_predictor) {
+          predicted = predictor.Predict(t.tokens);
+          ++result.predictor_estimations;
+        }
+        if (config_.use_novelty) {
+          novelty_score = novelty.NormalizedNovelty(t.tokens);
+        }
+      }
+
+      bool run_downstream = cold || !config_.use_performance_predictor;
+      if (!run_downstream && components_ready) {
+        // Strict comparisons: with clamped or discretized scores, ties at
+        // the threshold must not all trigger (that would defeat the
+        // percentile semantics).
+        bool perf_trigger =
+            config_.alpha_percentile > 0.0 &&
+            predicted > TopPercentileThreshold(prediction_history[step],
+                                               config_.alpha_percentile);
+        bool novelty_trigger =
+            config_.use_novelty && config_.beta_percentile > 0.0 &&
+            novelty_score > TopPercentileThreshold(novelty_history[step],
+                                                   config_.beta_percentile);
+        run_downstream = perf_trigger || novelty_trigger;
+        double budget = (config_.alpha_percentile + config_.beta_percentile) /
+                            100.0 * static_cast<double>(warm_steps) +
+                        1.0;
+        if (run_downstream && static_cast<double>(warm_evals) >= budget) {
+          run_downstream = false;
+        }
+      }
+      if (!cold && config_.use_performance_predictor) ++warm_steps;
+      if (config_.use_performance_predictor && components_ready) {
+        prediction_history[step].push_back(predicted);
+      }
+      if (config_.use_novelty && components_ready) {
+        novelty_history[step].push_back(novelty_score);
+      }
+
+      double v = prev_perf;
+      if (!generated_new) {
+        // Nothing changed; skip re-evaluating an identical dataset.
+        run_downstream = false;
+        v = prev_perf;
+      } else if (run_downstream) {
+        ScopedTimer timer(&result.times, kEval);
+        v = evaluator.Evaluate(space.ToDataset());
+        ++result.downstream_evaluations;
+        if (!cold && config_.use_performance_predictor) ++warm_evals;
+        sequence_records.push_back({t.tokens, v});
+      } else {
+        v = predicted;
+      }
+
+      // Eq. 5 / Eq. 6 reward with ε-decayed novelty bonus.
+      double reward = v - prev_perf;
+      double eps_i = 0.0;
+      if (config_.use_novelty && components_ready) {
+        eps_i = config_.novelty_weight_end +
+                (config_.novelty_weight_start - config_.novelty_weight_end) *
+                    std::exp(-static_cast<double>(global_step) /
+                             static_cast<double>(config_.novelty_decay_steps));
+        ++novelty_count;
+        novelty_mean +=
+            (novelty_score - novelty_mean) / static_cast<double>(novelty_count);
+        reward += eps_i * (novelty_score - novelty_mean);
+      }
+      t.reward = reward;
+      t.performance = v;
+      prev_perf = v;
+
+      if (run_downstream && v > result.best_score) {
+        result.best_score = v;
+        result.best_dataset = space.ToDataset();
+      }
+
+      // --- Memory + optimization (Algorithm 2 lines 15-18). ---
+      {
+        ScopedTimer timer(&result.times, kOpt);
+        double priority = policy->TdError(t);
+        buffer.Add(std::move(t), priority);
+        int index =
+            buffer.SampleIndex(&rng, config_.prioritized_replay);
+        policy->Optimize(buffer.Get(index));
+        buffer.UpdatePriority(index, policy->TdError(buffer.Get(index)));
+      }
+
+      // --- Trace entry. ---
+      StepTrace trace;
+      trace.episode = episode;
+      trace.step = step;
+      trace.reward = reward;
+      trace.performance = v;
+      trace.downstream_evaluated = run_downstream;
+      trace.generated = generated_new;
+      trace.novelty = novelty_score;
+      if (config_.collect_novelty_metrics) {
+        ScopedTimer timer(&result.times, kEst);
+        std::vector<double> embedding = novelty.TargetEmbedding(step_tokens);
+        double min_distance = 1.0;
+        for (const auto& previous : embedding_history) {
+          min_distance = std::min(
+              min_distance, 1.0 - CosineSimilarity(embedding, previous));
+        }
+        if (embedding_history.empty()) min_distance = 1.0;
+        trace.novelty_distance = min_distance;
+        embedding_history.push_back(std::move(embedding));
+        for (const ExprPtr& expr : space.GeneratedExpressions()) {
+          seen_expressions.insert(ExprHash(expr));
+        }
+        trace.unseen_cumulative = static_cast<int>(seen_expressions.size());
+      }
+      // Fig. 15: name the most label-relevant feature created this step.
+      if (space.NumGenerated() > 0) {
+        int best_col = -1;
+        double best_rel = -1.0;
+        for (int c = space.NumOriginals(); c < space.NumColumns(); ++c) {
+          double rel = space.LabelRelevance(c);
+          if (rel > best_rel) {
+            best_rel = rel;
+            best_col = c;
+          }
+        }
+        if (best_col >= 0) trace.top_new_feature = space.ColumnName(best_col);
+      }
+      result.trace.push_back(std::move(trace));
+      ++global_step;
+    }
+
+    // --- Component training / finetuning (Algorithms 1 & 2). ---
+    if (episode == config_.cold_start_episodes - 1) {
+      ScopedTimer timer(&result.times, kOpt);
+      Rng train_rng(DeriveSeed(config_.seed, 31));
+      if (config_.use_performance_predictor) {
+        predictor.Fit(sequence_records, config_.cold_start_train_epochs,
+                      &train_rng);
+      }
+      if (config_.use_novelty) {
+        std::vector<std::vector<int>> sequences;
+        sequences.reserve(sequence_records.size());
+        for (const SequenceRecord& r : sequence_records) {
+          sequences.push_back(r.tokens);
+        }
+        novelty.Fit(sequences, config_.cold_start_train_epochs, &train_rng);
+      }
+      components_ready = true;
+    } else if (components_ready &&
+               (episode + 1 - config_.cold_start_episodes) %
+                       std::max(config_.finetune_every_episodes, 1) ==
+                   0 &&
+               buffer.size() > 0) {
+      ScopedTimer timer(&result.times, kOpt);
+      std::vector<int> indices =
+          buffer.UniformSampleIndices(config_.finetune_batch, &rng);
+      std::vector<SequenceRecord> batch;
+      std::vector<std::vector<int>> sequences;
+      for (int idx : indices) {
+        const Transition& m = buffer.Get(idx);
+        batch.push_back({m.tokens, m.performance});
+        sequences.push_back(m.tokens);
+      }
+      for (int k = 0; k < config_.finetune_epochs; ++k) {
+        if (config_.use_performance_predictor) predictor.Finetune(batch);
+        if (config_.use_novelty) novelty.Finetune(sequences);
+      }
+    }
+
+    result.episode_best.push_back(result.best_score);
+  }
+
+  result.total_steps = global_step;
+  return result;
+}
+
+}  // namespace fastft

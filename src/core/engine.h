@@ -1,0 +1,155 @@
+// The FastFT engine: cold start + efficient exploration + optimization
+// (paper §III-D, Algorithms 1 and 2, Fig. 3).
+//
+// One Run() executes the full pipeline on a dataset:
+//   1. Cold start — explore with downstream-task feedback, collecting
+//      (sequence, score) pairs; then train the Performance Predictor and
+//      Novelty Estimator on the collected memory.
+//   2. Efficient exploration — per step, estimate novelty and performance
+//      with the evaluation components; trigger a real downstream evaluation
+//      only for sequences in the top-α performance percentile or top-β
+//      novelty percentile; shape the reward per Eq. 6 with the ε-decayed
+//      novelty bonus; store transitions in the prioritized buffer and
+//      optimize the cascading agents from replayed critical memories.
+//   3. Periodic finetuning of both evaluation components from the buffer.
+//
+// Every ablation of the paper is a configuration flag here:
+//   use_performance_predictor=false → FASTFT^-PP   (Table II, Fig. 6/9)
+//   use_novelty=false               → FASTFT^-NE   (Fig. 6/14)
+//   prioritized_replay=false        → FASTFT^-RCT  (Fig. 6)
+//   framework=kDqn...               → Fig. 7
+//   backbone=kRnn/kTransformer      → FASTFT^R / FASTFT^T (Fig. 8)
+
+#ifndef FASTFT_CORE_ENGINE_H_
+#define FASTFT_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "core/agents.h"
+#include "core/clustering.h"
+#include "core/feature_space.h"
+#include "core/novelty_estimator.h"
+#include "core/performance_predictor.h"
+#include "core/q_agents.h"
+#include "core/replay_buffer.h"
+#include "core/tokenizer.h"
+#include "ml/evaluator.h"
+
+namespace fastft {
+
+enum class RlFramework {
+  kActorCritic,
+  kDqn,
+  kDoubleDqn,
+  kDuelingDqn,
+  kDuelingDoubleDqn,
+};
+
+const char* RlFrameworkName(RlFramework framework);
+
+struct EngineConfig {
+  // Exploration schedule (paper defaults: 200 episodes × 15 steps, cold
+  // start 10 episodes; scaled down here so a Run is laptop-fast — benches
+  // override as needed).
+  int episodes = 12;
+  int steps_per_episode = 8;
+  int cold_start_episodes = 3;
+
+  // Evaluation components & ablations.
+  bool use_performance_predictor = true;  // false → FASTFT^-PP
+  bool use_novelty = true;                // false → FASTFT^-NE
+  bool prioritized_replay = true;         // false → FASTFT^-RCT
+  int finetune_every_episodes = 3;        // paper E = 5
+  int finetune_epochs = 4;                // paper K
+  int cold_start_train_epochs = 10;
+  int finetune_batch = 8;
+
+  // Adaptive downstream triggers (percentiles; paper α=10, β=5). A value
+  // of 0 disables that trigger entirely (Fig. 12's degenerate setting).
+  double alpha_percentile = 10.0;
+  double beta_percentile = 5.0;
+
+  // Novelty reward schedule (Eq. 6): ε from ε_s to ε_e over M steps.
+  double novelty_weight_start = 0.10;   // paper ε_s
+  double novelty_weight_end = 0.005;    // paper ε_e
+  int novelty_decay_steps = 1000;       // paper M
+
+  int memory_size = 16;  // paper S
+
+  // Exploration annealing: the agents' residual random-action probability
+  // decays from start to end over `epsilon_decay_steps` global steps. This
+  // models the paper's premise that random exploration *ends* and the
+  // trained strategy takes over (challenge C2).
+  double epsilon_start = 0.25;
+  double epsilon_end = 0.03;
+  int epsilon_decay_steps = 150;
+
+  RlFramework framework = RlFramework::kActorCritic;
+  AgentConfig agent;
+  QAgentConfig q_agent;
+
+  nn::Backbone backbone = nn::Backbone::kLstm;
+
+  FeatureSpaceConfig feature_space;
+  ClusteringConfig clustering;
+  EvaluatorConfig evaluator;
+  int tokenizer_feature_buckets = 48;
+  int tokenizer_max_length = 192;
+
+  /// Collect the Fig. 14 per-step novelty metrics (extra encoder passes).
+  bool collect_novelty_metrics = false;
+
+  uint64_t seed = 2024;
+};
+
+/// Per-step trace entry for the figure harnesses.
+struct StepTrace {
+  int episode = 0;
+  int step = 0;
+  double reward = 0.0;
+  double performance = 0.0;  // v_j actually used as feedback
+  bool downstream_evaluated = false;
+  /// Whether this step added at least one new column.
+  bool generated = false;
+  double novelty = 0.0;  // normalized novelty bonus (0 when unused)
+  /// Fig. 14 metrics (when collect_novelty_metrics):
+  double novelty_distance = 0.0;      // min cosine distance to history
+  int unseen_cumulative = 0;          // distinct expressions seen so far
+  /// Highest-relevance feature generated this step (Fig. 15); empty if none.
+  std::string top_new_feature;
+};
+
+struct EngineResult {
+  double base_score = 0.0;
+  double best_score = 0.0;
+  Dataset best_dataset;
+  std::vector<StepTrace> trace;
+  /// Best-so-far score after each episode (Fig. 7 convergence curves).
+  std::vector<double> episode_best;
+  /// Wall-clock buckets: "optimization", "estimation", "evaluation".
+  TimeBuckets times;
+  int64_t downstream_evaluations = 0;
+  int64_t predictor_estimations = 0;
+  int total_steps = 0;
+};
+
+class FastFtEngine {
+ public:
+  explicit FastFtEngine(EngineConfig config);
+
+  /// Runs the full pipeline; deterministic given config.seed.
+  EngineResult Run(const Dataset& dataset);
+
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  EngineConfig config_;
+};
+
+}  // namespace fastft
+
+#endif  // FASTFT_CORE_ENGINE_H_

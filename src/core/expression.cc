@@ -1,0 +1,103 @@
+#include "core/expression.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fastft {
+
+ExprPtr MakeLeaf(int feature_index) {
+  FASTFT_CHECK_GE(feature_index, 0);
+  auto node = std::make_shared<Expr>();
+  node->feature = feature_index;
+  return node;
+}
+
+ExprPtr MakeUnary(OpType op, ExprPtr child) {
+  FASTFT_CHECK(IsUnary(op));
+  FASTFT_CHECK(child != nullptr);
+  auto node = std::make_shared<Expr>();
+  node->op = static_cast<int>(op);
+  node->left = std::move(child);
+  node->depth = node->left->depth + 1;
+  node->node_count = node->left->node_count + 1;
+  return node;
+}
+
+ExprPtr MakeBinary(OpType op, ExprPtr left, ExprPtr right) {
+  FASTFT_CHECK(!IsUnary(op));
+  FASTFT_CHECK(left != nullptr && right != nullptr);
+  auto node = std::make_shared<Expr>();
+  node->op = static_cast<int>(op);
+  node->left = std::move(left);
+  node->right = std::move(right);
+  node->depth = std::max(node->left->depth, node->right->depth) + 1;
+  node->node_count = node->left->node_count + node->right->node_count + 1;
+  return node;
+}
+
+bool IsLeaf(const ExprPtr& expr) { return expr->op < 0; }
+
+std::string ExprToString(const ExprPtr& expr,
+                         const std::vector<std::string>& names) {
+  FASTFT_CHECK(expr != nullptr);
+  if (IsLeaf(expr)) {
+    if (expr->feature < static_cast<int>(names.size())) {
+      return names[expr->feature];
+    }
+    return "f" + std::to_string(expr->feature);
+  }
+  OpType op = OpFromIndex(expr->op);
+  if (IsUnary(op)) {
+    return OpName(op) + "(" + ExprToString(expr->left, names) + ")";
+  }
+  return "(" + ExprToString(expr->left, names) + OpName(op) +
+         ExprToString(expr->right, names) + ")";
+}
+
+uint64_t ExprHash(const ExprPtr& expr) {
+  FASTFT_CHECK(expr != nullptr);
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  if (IsLeaf(expr)) {
+    mix(0x1EAFULL);
+    mix(static_cast<uint64_t>(expr->feature));
+    return h;
+  }
+  mix(0x09ULL);
+  mix(static_cast<uint64_t>(expr->op));
+  mix(ExprHash(expr->left));
+  if (expr->right != nullptr) mix(ExprHash(expr->right));
+  return h;
+}
+
+std::vector<double> EvalExpr(
+    const ExprPtr& expr,
+    const std::vector<std::vector<double>>& original_columns) {
+  FASTFT_CHECK(expr != nullptr);
+  if (IsLeaf(expr)) {
+    FASTFT_CHECK_LT(expr->feature, static_cast<int>(original_columns.size()));
+    return original_columns[expr->feature];
+  }
+  OpType op = OpFromIndex(expr->op);
+  std::vector<double> left = EvalExpr(expr->left, original_columns);
+  if (IsUnary(op)) return ApplyUnary(op, left);
+  std::vector<double> right = EvalExpr(expr->right, original_columns);
+  return ApplyBinary(op, left, right);
+}
+
+void AppendPostfix(const ExprPtr& expr, std::vector<PostfixItem>* out) {
+  FASTFT_CHECK(expr != nullptr);
+  if (IsLeaf(expr)) {
+    out->push_back({false, expr->feature});
+    return;
+  }
+  AppendPostfix(expr->left, out);
+  if (expr->right != nullptr) AppendPostfix(expr->right, out);
+  out->push_back({true, expr->op});
+}
+
+}  // namespace fastft

@@ -1,0 +1,64 @@
+// Immutable expression trees: the traceable form of a generated feature.
+//
+// Every transformed column remembers how it was built from the original
+// columns (paper's "traceability", Tables IV and Fig. 15). Trees are shared
+// (shared_ptr) because group-wise crossing creates many siblings with common
+// subtrees.
+
+#ifndef FASTFT_CORE_EXPRESSION_H_
+#define FASTFT_CORE_EXPRESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/operations.h"
+
+namespace fastft {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+struct Expr {
+  /// -1 for a leaf; otherwise index into the operation set.
+  int op = -1;
+  /// Original feature index (leaf only).
+  int feature = -1;
+  ExprPtr left;
+  ExprPtr right;
+  int depth = 1;
+  int node_count = 1;
+};
+
+ExprPtr MakeLeaf(int feature_index);
+ExprPtr MakeUnary(OpType op, ExprPtr child);
+ExprPtr MakeBinary(OpType op, ExprPtr left, ExprPtr right);
+
+bool IsLeaf(const ExprPtr& expr);
+
+/// Infix rendering, e.g. "(f3*f9+1)". `names` supplies leaf names; when
+/// empty, leaves render as "f<i>".
+std::string ExprToString(const ExprPtr& expr,
+                         const std::vector<std::string>& names = {});
+
+/// Structural hash (order-sensitive); used for de-duplication and the
+/// "unencountered feature combination" counter of Fig. 14.
+uint64_t ExprHash(const ExprPtr& expr);
+
+/// Evaluates the tree over the original columns (column-major originals).
+std::vector<double> EvalExpr(
+    const ExprPtr& expr,
+    const std::vector<std::vector<double>>& original_columns);
+
+/// Appends the postfix traversal as (is_op, index) pairs: operations by op
+/// index, leaves by feature index. The tokenizer maps these to vocab ids.
+struct PostfixItem {
+  bool is_op;
+  int index;
+};
+void AppendPostfix(const ExprPtr& expr, std::vector<PostfixItem>* out);
+
+}  // namespace fastft
+
+#endif  // FASTFT_CORE_EXPRESSION_H_

@@ -1,0 +1,241 @@
+#include "core/expression_parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace fastft {
+namespace {
+
+// Recursive-descent parser over the ExprToString grammar.
+class Parser {
+ public:
+  Parser(const std::string& text, const std::vector<std::string>& names)
+      : text_(text), names_(names) {}
+
+  Result<ExprPtr> Parse() {
+    Result<ExprPtr> expr = ParseExpr();
+    if (!expr.ok()) return expr;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after expression");
+    }
+    return expr;
+  }
+
+ private:
+  Status Fail(const std::string& message) const {
+    return Status::InvalidArgument(message + " at offset " +
+                                   std::to_string(pos_) + " in '" + text_ +
+                                   "'");
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(
+                                      static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  // Matches a unary op name followed by '(' without consuming on failure.
+  int PeekUnaryOp() {
+    SkipSpace();
+    for (int i = 0; i < kNumUnaryOperations; ++i) {
+      const std::string& name = OpName(OpFromIndex(i));
+      if (text_.compare(pos_, name.size(), name) == 0 &&
+          pos_ + name.size() < text_.size() &&
+          text_[pos_ + name.size()] == '(') {
+        return i;
+      }
+    }
+    return -1;
+  }
+
+  int PeekBinaryOp() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return -1;
+    for (int i = kNumUnaryOperations; i < kNumOperations; ++i) {
+      const std::string& name = OpName(OpFromIndex(i));
+      if (text_.compare(pos_, name.size(), name) == 0) return i;
+    }
+    return -1;
+  }
+
+  Result<ExprPtr> ParseExpr() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+
+    int unary = PeekUnaryOp();
+    if (unary >= 0) {
+      pos_ += OpName(OpFromIndex(unary)).size();
+      if (!Consume('(')) return Fail("expected '(' after unary op");
+      Result<ExprPtr> child = ParseExpr();
+      if (!child.ok()) return child;
+      if (!Consume(')')) return Fail("expected ')' closing unary op");
+      return MakeUnary(OpFromIndex(unary), child.value());
+    }
+
+    if (Consume('(')) {
+      Result<ExprPtr> left = ParseExpr();
+      if (!left.ok()) return left;
+      int op = PeekBinaryOp();
+      if (op < 0) return Fail("expected binary operator");
+      pos_ += OpName(OpFromIndex(op)).size();
+      Result<ExprPtr> right = ParseExpr();
+      if (!right.ok()) return right;
+      if (!Consume(')')) return Fail("expected ')' closing binary op");
+      return MakeBinary(OpFromIndex(op), left.value(), right.value());
+    }
+
+    return ParseLeaf();
+  }
+
+  Result<ExprPtr> ParseLeaf() {
+    SkipSpace();
+    // Longest match against the provided feature names.
+    int best_index = -1;
+    size_t best_len = 0;
+    for (size_t i = 0; i < names_.size(); ++i) {
+      const std::string& name = names_[i];
+      if (!name.empty() && name.size() > best_len &&
+          text_.compare(pos_, name.size(), name) == 0) {
+        best_index = static_cast<int>(i);
+        best_len = name.size();
+      }
+    }
+    if (best_index >= 0) {
+      pos_ += best_len;
+      return MakeLeaf(best_index);
+    }
+    // Fallback: "f<digits>".
+    if (pos_ < text_.size() && text_[pos_] == 'f') {
+      size_t digits = pos_ + 1;
+      while (digits < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[digits]))) {
+        ++digits;
+      }
+      if (digits > pos_ + 1) {
+        int index = std::stoi(text_.substr(pos_ + 1, digits - pos_ - 1));
+        pos_ = digits;
+        return MakeLeaf(index);
+      }
+    }
+    return Fail("expected a feature name");
+  }
+
+  const std::string& text_;
+  const std::vector<std::string>& names_;
+  size_t pos_ = 0;
+};
+
+std::vector<std::string> ColumnNames(const Dataset& dataset) {
+  std::vector<std::string> names;
+  names.reserve(dataset.NumFeatures());
+  for (int c = 0; c < dataset.NumFeatures(); ++c) {
+    names.push_back(dataset.features.Name(c));
+  }
+  return names;
+}
+
+}  // namespace
+
+Result<ExprPtr> ParseExpression(const std::string& text,
+                                const std::vector<std::string>& feature_names) {
+  return Parser(text, feature_names).Parse();
+}
+
+Result<TransformationProgram> TransformationProgram::FromTransformedDataset(
+    const Dataset& transformed, int num_original,
+    const std::vector<std::string>& original_names) {
+  if (num_original > transformed.NumFeatures()) {
+    return Status::InvalidArgument("num_original exceeds column count");
+  }
+  std::vector<ExprPtr> expressions;
+  for (int c = num_original; c < transformed.NumFeatures(); ++c) {
+    Result<ExprPtr> expr =
+        ParseExpression(transformed.features.Name(c), original_names);
+    if (!expr.ok()) return expr.status();
+    expressions.push_back(expr.value());
+  }
+  return TransformationProgram(std::move(expressions));
+}
+
+Result<Dataset> TransformationProgram::Apply(const Dataset& original) const {
+  std::vector<std::vector<double>> columns;
+  columns.reserve(original.NumFeatures());
+  for (int c = 0; c < original.NumFeatures(); ++c) {
+    columns.push_back(original.features.Col(c));
+  }
+  Dataset out = original;
+  std::vector<std::string> names = ColumnNames(original);
+  for (const ExprPtr& expr : expressions_) {
+    // Validate feature references before evaluating.
+    std::vector<PostfixItem> items;
+    AppendPostfix(expr, &items);
+    for (const PostfixItem& item : items) {
+      if (!item.is_op && item.index >= original.NumFeatures()) {
+        return Status::OutOfRange(
+            "expression references feature " + std::to_string(item.index) +
+            " but input has " + std::to_string(original.NumFeatures()) +
+            " columns");
+      }
+    }
+    FASTFT_RETURN_NOT_OK(out.features.AddColumn(ExprToString(expr, names),
+                                                EvalExpr(expr, columns)));
+  }
+  return out;
+}
+
+std::string TransformationProgram::Serialize() const {
+  std::ostringstream out;
+  out << "# fastft transformation program v1\n";
+  for (const ExprPtr& expr : expressions_) {
+    out << ExprToString(expr) << "\n";
+  }
+  return out.str();
+}
+
+Result<TransformationProgram> TransformationProgram::Deserialize(
+    const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::vector<ExprPtr> expressions;
+  while (std::getline(in, line)) {
+    size_t begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos || line[begin] == '#') continue;
+    size_t end = line.find_last_not_of(" \t\r");
+    Result<ExprPtr> expr =
+        ParseExpression(line.substr(begin, end - begin + 1));
+    if (!expr.ok()) return expr.status();
+    expressions.push_back(expr.value());
+  }
+  return TransformationProgram(std::move(expressions));
+}
+
+Status TransformationProgram::SaveToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << Serialize();
+  return out.good() ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+Result<TransformationProgram> TransformationProgram::LoadFromFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return Deserialize(buffer.str());
+}
+
+}  // namespace fastft

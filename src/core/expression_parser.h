@@ -1,0 +1,70 @@
+// Parsing expression strings back into trees, and transformation programs.
+//
+// ExprToString renders a generated feature as e.g. "(sqrt(f0)*f1)"; this
+// module parses that representation back, enabling the train-once /
+// apply-anywhere workflow: persist the discovered transformation as plain
+// text, then apply it to fresh data with the same schema.
+//
+// Grammar (exactly the ExprToString output):
+//   expr   := unary | binary | leaf
+//   unary  := OPNAME '(' expr ')'
+//   binary := '(' expr BINOP expr ')'
+//   leaf   := feature name (longest match against the provided names, or
+//             "f<index>" when no names are given)
+
+#ifndef FASTFT_CORE_EXPRESSION_PARSER_H_
+#define FASTFT_CORE_EXPRESSION_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/expression.h"
+#include "data/dataset.h"
+
+namespace fastft {
+
+/// Parses one expression. `feature_names` maps leaf spellings to feature
+/// indices; when empty, leaves must be "f<index>".
+Result<ExprPtr> ParseExpression(const std::string& text,
+                                const std::vector<std::string>& feature_names = {});
+
+/// A persisted feature-transformation: the expressions of the generated
+/// columns, applied on top of the original columns.
+class TransformationProgram {
+ public:
+  TransformationProgram() = default;
+  explicit TransformationProgram(std::vector<ExprPtr> expressions)
+      : expressions_(std::move(expressions)) {}
+
+  /// Extracts the program from a transformed dataset produced by the engine:
+  /// every column after the first `num_original` is parsed by its name.
+  static Result<TransformationProgram> FromTransformedDataset(
+      const Dataset& transformed, int num_original,
+      const std::vector<std::string>& original_names);
+
+  int size() const { return static_cast<int>(expressions_.size()); }
+  const std::vector<ExprPtr>& expressions() const { return expressions_; }
+
+  /// Applies the program: returns `original` plus one generated column per
+  /// expression (named by the expression). Fails if an expression refers to
+  /// a feature index beyond the input's columns.
+  Result<Dataset> Apply(const Dataset& original) const;
+
+  /// One expression per line, rendered with "f<i>" leaves.
+  std::string Serialize() const;
+
+  /// Inverse of Serialize (blank lines and '#' comments skipped).
+  static Result<TransformationProgram> Deserialize(const std::string& text);
+
+  /// File round-trip helpers.
+  Status SaveToFile(const std::string& path) const;
+  static Result<TransformationProgram> LoadFromFile(const std::string& path);
+
+ private:
+  std::vector<ExprPtr> expressions_;
+};
+
+}  // namespace fastft
+
+#endif  // FASTFT_CORE_EXPRESSION_PARSER_H_

@@ -1,0 +1,261 @@
+#include "core/feature_space.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "core/mutual_information.h"
+
+namespace fastft {
+
+FeatureSpace::FeatureSpace(const Dataset& base, FeatureSpaceConfig config)
+    : base_(base), config_(config) {
+  FASTFT_CHECK(base_.Validate().ok()) << base_.Validate().ToString();
+  num_originals_ = base_.NumFeatures();
+  FASTFT_CHECK_GE(config_.max_features, num_originals_)
+      << "budget below original feature count";
+  Reset();
+}
+
+void FeatureSpace::Reset() {
+  columns_.clear();
+  for (int c = 0; c < base_.NumFeatures(); ++c) {
+    Column col;
+    col.values = base_.features.Col(c);
+    col.expr = MakeLeaf(c);
+    columns_.push_back(std::move(col));
+  }
+  RebuildHashes();
+}
+
+const std::vector<double>& FeatureSpace::Values(int index) const {
+  FASTFT_CHECK_GE(index, 0);
+  FASTFT_CHECK_LT(index, NumColumns());
+  return columns_[index].values;
+}
+
+const ExprPtr& FeatureSpace::Expression(int index) const {
+  FASTFT_CHECK_GE(index, 0);
+  FASTFT_CHECK_LT(index, NumColumns());
+  return columns_[index].expr;
+}
+
+const Summary& FeatureSpace::ColumnSummary(int index) const {
+  FASTFT_CHECK_GE(index, 0);
+  FASTFT_CHECK_LT(index, NumColumns());
+  const Column& col = columns_[index];
+  if (!col.summary_ready) {
+    col.summary = Summarize(col.values);
+    col.summary_ready = true;
+  }
+  return col.summary;
+}
+
+const std::vector<int>& FeatureSpace::BinnedValues(int index) const {
+  FASTFT_CHECK_GE(index, 0);
+  FASTFT_CHECK_LT(index, NumColumns());
+  const Column& col = columns_[index];
+  if (col.binned.empty()) col.binned = QuantileBin(col.values, 8);
+  return col.binned;
+}
+
+double FeatureSpace::LabelRelevance(int index) const {
+  FASTFT_CHECK_GE(index, 0);
+  FASTFT_CHECK_LT(index, NumColumns());
+  const Column& col = columns_[index];
+  if (col.relevance < 0.0) {
+    col.relevance =
+        EstimateMIWithLabel(col.values, base_.labels, base_.task);
+  }
+  return col.relevance;
+}
+
+std::string FeatureSpace::ColumnName(int index) const {
+  std::vector<std::string> names;
+  names.reserve(base_.NumFeatures());
+  for (int c = 0; c < base_.NumFeatures(); ++c) {
+    names.push_back(base_.features.Name(c));
+  }
+  return ExprToString(Expression(index), names);
+}
+
+uint64_t FeatureSpace::ValueHash(const std::vector<double>& values) const {
+  // Hash of values rounded to ~6 significant decimals, catching numerically
+  // identical derivations (e.g. square(sqrt(x)) == |x|).
+  uint64_t h = 1469598103934665603ULL;
+  for (double v : values) {
+    int64_t q = static_cast<int64_t>(std::llround(v * 1e6));
+    h ^= static_cast<uint64_t>(q);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::pair<uint64_t, uint64_t> FeatureSpace::RankSignature(
+    const std::vector<double>& values) const {
+  std::vector<int> bins = QuantileBin(values, 16);
+  int max_bin = 0;
+  for (int b : bins) max_bin = std::max(max_bin, b);
+  uint64_t forward = 1469598103934665603ULL;
+  uint64_t reflected = 1469598103934665603ULL;
+  for (int b : bins) {
+    forward = (forward ^ static_cast<uint64_t>(b)) * 1099511628211ULL;
+    reflected =
+        (reflected ^ static_cast<uint64_t>(max_bin - b)) * 1099511628211ULL;
+  }
+  return {forward, reflected};
+}
+
+void FeatureSpace::RebuildHashes() {
+  value_hashes_.clear();
+  expr_hashes_.clear();
+  rank_hashes_.clear();
+  for (const Column& col : columns_) {
+    value_hashes_.insert(ValueHash(col.values));
+    expr_hashes_.insert(ExprHash(col.expr));
+    rank_hashes_.insert(RankSignature(col.values).first);
+  }
+}
+
+bool FeatureSpace::SanitizeAndCheck(std::vector<double>* values,
+                                    const ExprPtr& expr) {
+  // Repair non-finite entries with the column median of finite ones.
+  std::vector<double> finite;
+  finite.reserve(values->size());
+  for (double v : *values) {
+    if (std::isfinite(v)) finite.push_back(v);
+  }
+  if (finite.size() < values->size() / 2) return false;
+  double median = Quantile(finite, 0.5);
+  for (double& v : *values) {
+    if (!std::isfinite(v)) v = median;
+  }
+  if (StdDev(*values) < config_.min_std) return false;
+  if (expr_hashes_.count(ExprHash(expr)) > 0) return false;
+  if (value_hashes_.count(ValueHash(*values)) > 0) return false;
+  // Monotone-equivalence: an increasing or decreasing rescaling of an
+  // existing column adds nothing a split-based model can use. Depth-2
+  // expressions (one unary op on an original column, e.g. log(f3)) are
+  // exempt — they are the classic rescalings that help linear downstream
+  // models — while deeper monotone wrappers (sin(sin(x)) chains) stay
+  // banned.
+  if (expr->depth > 2) {
+    auto [forward, reflected] = RankSignature(*values);
+    if (rank_hashes_.count(forward) > 0 ||
+        rank_hashes_.count(reflected) > 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int FeatureSpace::ApplyOperation(OpType op, const std::vector<int>& head,
+                                 const std::vector<int>& tail, Rng* rng) {
+  FASTFT_CHECK(rng != nullptr);
+  int added = 0;
+  auto try_add = [&](std::vector<double> values, ExprPtr expr) {
+    if (expr->depth > config_.max_expr_depth) return;
+    if (!SanitizeAndCheck(&values, expr)) return;
+    value_hashes_.insert(ValueHash(values));
+    expr_hashes_.insert(ExprHash(expr));
+    rank_hashes_.insert(RankSignature(values).first);
+    Column column;
+    column.values = std::move(values);
+    column.expr = std::move(expr);
+    columns_.push_back(std::move(column));
+    ++added;
+  };
+
+  if (IsUnary(op)) {
+    for (int h : head) {
+      if (added >= config_.max_new_per_step) break;
+      FASTFT_CHECK_LT(h, NumColumns());
+      try_add(ApplyUnary(op, columns_[h].values),
+              MakeUnary(op, columns_[h].expr));
+    }
+  } else {
+    FASTFT_CHECK(!tail.empty());
+    // Enumerate head × tail pairs; sample down to the per-step cap.
+    std::vector<std::pair<int, int>> pairs;
+    for (int h : head) {
+      for (int t : tail) {
+        if (h == t && (op == OpType::kSub || op == OpType::kDiv)) continue;
+        pairs.emplace_back(h, t);
+      }
+    }
+    if (static_cast<int>(pairs.size()) > config_.max_new_per_step) {
+      rng->Shuffle(pairs);
+      pairs.resize(config_.max_new_per_step);
+    }
+    for (const auto& [h, t] : pairs) {
+      if (added >= config_.max_new_per_step) break;
+      FASTFT_CHECK_LT(h, NumColumns());
+      FASTFT_CHECK_LT(t, NumColumns());
+      try_add(ApplyBinary(op, columns_[h].values, columns_[t].values),
+              MakeBinary(op, columns_[h].expr, columns_[t].expr));
+    }
+  }
+  EnforceBudget();
+  return added;
+}
+
+Dataset FeatureSpace::ToDataset() const {
+  Dataset out;
+  out.name = base_.name;
+  out.task = base_.task;
+  out.labels = base_.labels;
+  for (int c = 0; c < NumColumns(); ++c) {
+    FASTFT_CHECK(
+        out.features.AddColumn(ColumnName(c), columns_[c].values).ok());
+  }
+  return out;
+}
+
+std::vector<ExprPtr> FeatureSpace::GeneratedExpressions() const {
+  std::vector<ExprPtr> out;
+  for (int c = num_originals_; c < NumColumns(); ++c) {
+    out.push_back(columns_[c].expr);
+  }
+  return out;
+}
+
+std::vector<int> FeatureSpace::SequenceTokens(
+    const Tokenizer& tokenizer) const {
+  return tokenizer.EncodeFeatureSet(GeneratedExpressions());
+}
+
+void FeatureSpace::EnforceBudget() {
+  if (NumColumns() <= config_.max_features) return;
+  // Rank generated columns by MI relevance; originals always survive.
+  const int keep_generated = config_.max_features - num_originals_;
+  struct Ranked {
+    int index;
+    double relevance;
+  };
+  std::vector<Ranked> ranked;
+  for (int c = num_originals_; c < NumColumns(); ++c) {
+    ranked.push_back({c, LabelRelevance(c)});
+  }
+  std::stable_sort(ranked.begin(), ranked.end(), [](const Ranked& a,
+                                                    const Ranked& b) {
+    return a.relevance > b.relevance;
+  });
+  std::vector<Column> kept;
+  kept.reserve(config_.max_features);
+  for (int c = 0; c < num_originals_; ++c) {
+    kept.push_back(std::move(columns_[c]));
+  }
+  std::vector<int> survivors;
+  for (int i = 0; i < keep_generated && i < static_cast<int>(ranked.size());
+       ++i) {
+    survivors.push_back(ranked[i].index);
+  }
+  std::sort(survivors.begin(), survivors.end());  // preserve creation order
+  for (int idx : survivors) kept.push_back(std::move(columns_[idx]));
+  columns_ = std::move(kept);
+  RebuildHashes();
+}
+
+}  // namespace fastft

@@ -1,0 +1,117 @@
+// The evolving transformed feature set F̂ with group-wise crossing.
+//
+// Holds the original columns plus generated columns, each carrying its
+// expression tree. Implements the paper's group-wise feature crossing
+// (§III-B), column hygiene, de-duplication, and the MI-based feature budget
+// ("replacing useless features").
+
+#ifndef FASTFT_CORE_FEATURE_SPACE_H_
+#define FASTFT_CORE_FEATURE_SPACE_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/stats.h"
+
+#include "core/expression.h"
+#include "core/tokenizer.h"
+#include "data/dataset.h"
+
+namespace fastft {
+
+class Rng;
+
+struct FeatureSpaceConfig {
+  /// Hard cap on total columns; originals are always kept.
+  int max_features = 48;
+  /// Cap on new columns added by one crossing step (pairs are sampled).
+  int max_new_per_step = 12;
+  /// Expressions deeper than this are not generated further.
+  int max_expr_depth = 8;
+  /// Columns with stddev below this are rejected as constant.
+  double min_std = 1e-9;
+};
+
+class FeatureSpace {
+ public:
+  FeatureSpace(const Dataset& base, FeatureSpaceConfig config = {});
+
+  int NumColumns() const { return static_cast<int>(columns_.size()); }
+  int NumOriginals() const { return num_originals_; }
+  int NumGenerated() const { return NumColumns() - num_originals_; }
+
+  const std::vector<double>& Values(int index) const;
+  const ExprPtr& Expression(int index) const;
+  std::string ColumnName(int index) const;
+
+  /// Cached seven-number summary of a column (columns are immutable once
+  /// added, so this is computed once — the state representation hot path).
+  const Summary& ColumnSummary(int index) const;
+
+  /// Cached quantile-binned values (MI/clustering hot path).
+  const std::vector<int>& BinnedValues(int index) const;
+
+  /// Cached MI(F_index, y).
+  double LabelRelevance(int index) const;
+
+  /// Group-wise crossing: applies `op` to every head column (unary) or to
+  /// sampled head × tail pairs (binary), adds the surviving columns, and
+  /// returns how many were added. `rng` drives pair sampling.
+  int ApplyOperation(OpType op, const std::vector<int>& head,
+                     const std::vector<int>& tail, Rng* rng);
+
+  /// Materializes the current feature set as a dataset (labels shared).
+  Dataset ToDataset() const;
+
+  /// Expression trees of the generated (non-original) columns, in order.
+  std::vector<ExprPtr> GeneratedExpressions() const;
+
+  /// Token sequence of the current transformation (Definition 4).
+  std::vector<int> SequenceTokens(const Tokenizer& tokenizer) const;
+
+  /// Drops lowest-MI generated columns until the budget holds.
+  void EnforceBudget();
+
+  /// Back to the original columns only.
+  void Reset();
+
+  const FeatureSpaceConfig& config() const { return config_; }
+  const Dataset& base() const { return base_; }
+
+ private:
+  struct Column {
+    std::vector<double> values;
+    ExprPtr expr;
+    // Lazily-filled caches (values are immutable after creation).
+    mutable bool summary_ready = false;
+    mutable Summary summary;
+    mutable std::vector<int> binned;  // empty until first use
+    mutable double relevance = -1.0;  // <0 until first use
+  };
+
+  /// Cleans a candidate column in place; false if it must be rejected
+  /// (constant, duplicated, monotone-equivalent to an existing column, or
+  /// non-finite beyond repair).
+  bool SanitizeAndCheck(std::vector<double>* values, const ExprPtr& expr);
+  uint64_t ValueHash(const std::vector<double>& values) const;
+  /// Rank-pattern signatures: equal for any increasing transform of the same
+  /// column (forward) and for decreasing transforms (reflected). Tree-based
+  /// evaluators are invariant to monotone rescalings, so such candidates are
+  /// informationless duplicates.
+  std::pair<uint64_t, uint64_t> RankSignature(
+      const std::vector<double>& values) const;
+  void RebuildHashes();
+
+  Dataset base_;
+  FeatureSpaceConfig config_;
+  int num_originals_ = 0;
+  std::vector<Column> columns_;
+  std::unordered_set<uint64_t> value_hashes_;
+  std::unordered_set<uint64_t> expr_hashes_;
+  std::unordered_set<uint64_t> rank_hashes_;
+};
+
+}  // namespace fastft
+
+#endif  // FASTFT_CORE_FEATURE_SPACE_H_

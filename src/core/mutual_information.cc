@@ -1,0 +1,115 @@
+#include "core/mutual_information.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace fastft {
+
+std::vector<int> QuantileBin(const std::vector<double>& values, int bins) {
+  FASTFT_CHECK_GE(bins, 2);
+  const size_t n = values.size();
+  std::vector<int> out(n, 0);
+  if (n == 0) return out;
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  // Equal-frequency bins; identical values always share a bin. A bin closes
+  // as soon as it has reached its quota *and* the value changes — this keeps
+  // low-cardinality columns (e.g. binary features) multi-binned instead of
+  // collapsing into one bin.
+  int current_bin = 0;
+  size_t per_bin = std::max<size_t>(1, n / static_cast<size_t>(bins));
+  for (size_t rank = 0; rank < n; ++rank) {
+    if (rank > 0) {
+      bool due = rank >= (static_cast<size_t>(current_bin) + 1) * per_bin &&
+                 current_bin < bins - 1;
+      bool tie = values[order[rank]] == values[order[rank - 1]];
+      if (due && !tie) ++current_bin;
+    }
+    out[order[rank]] = current_bin;
+  }
+  return out;
+}
+
+double DiscreteMutualInformation(const std::vector<int>& a,
+                                 const std::vector<int>& b) {
+  FASTFT_CHECK_EQ(a.size(), b.size());
+  const double n = static_cast<double>(a.size());
+  if (a.empty()) return 0.0;
+  // Flat histograms: bin ids are small non-negative integers (quantile bins
+  // or class labels), so dense counting beats associative containers in this
+  // clustering hot path.
+  int max_a = 0, max_b = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    FASTFT_CHECK_GE(a[i], 0);
+    FASTFT_CHECK_GE(b[i], 0);
+    max_a = std::max(max_a, a[i]);
+    max_b = std::max(max_b, b[i]);
+  }
+  const int ka = max_a + 1, kb = max_b + 1;
+  std::vector<double> pa(ka, 0.0), pb(kb, 0.0);
+  std::vector<double> joint(static_cast<size_t>(ka) * kb, 0.0);
+  for (size_t i = 0; i < a.size(); ++i) {
+    pa[a[i]] += 1.0;
+    pb[b[i]] += 1.0;
+    joint[static_cast<size_t>(a[i]) * kb + b[i]] += 1.0;
+  }
+  double mi = 0.0;
+  for (int x = 0; x < ka; ++x) {
+    if (pa[x] == 0.0) continue;
+    for (int y = 0; y < kb; ++y) {
+      double pxy = joint[static_cast<size_t>(x) * kb + y];
+      if (pxy == 0.0) continue;
+      mi += (pxy / n) * std::log(pxy * n / (pa[x] * pb[y]));
+    }
+  }
+  return std::max(0.0, mi);
+}
+
+double EstimateMI(const std::vector<double>& a, const std::vector<double>& b,
+                  int bins) {
+  return DiscreteMutualInformation(QuantileBin(a, bins), QuantileBin(b, bins));
+}
+
+double EstimateMIWithLabel(const std::vector<double>& column,
+                           const std::vector<double>& labels, TaskType task,
+                           int bins) {
+  std::vector<int> binned_labels;
+  if (task == TaskType::kRegression) {
+    binned_labels = QuantileBin(labels, bins);
+  } else {
+    binned_labels.reserve(labels.size());
+    for (double y : labels) binned_labels.push_back(static_cast<int>(y));
+  }
+  return DiscreteMutualInformation(QuantileBin(column, bins), binned_labels);
+}
+
+std::vector<double> FeatureRelevance(const DataFrame& frame,
+                                     const std::vector<double>& labels,
+                                     TaskType task, int bins) {
+  std::vector<double> out(frame.NumCols());
+  for (int c = 0; c < frame.NumCols(); ++c) {
+    out[c] = EstimateMIWithLabel(frame.Col(c), labels, task, bins);
+  }
+  return out;
+}
+
+std::vector<int> TopKByRelevance(const DataFrame& frame,
+                                 const std::vector<double>& labels,
+                                 TaskType task, int k, int bins) {
+  std::vector<double> relevance = FeatureRelevance(frame, labels, task, bins);
+  std::vector<int> indices(frame.NumCols());
+  std::iota(indices.begin(), indices.end(), 0);
+  std::stable_sort(indices.begin(), indices.end(), [&](int a, int b) {
+    return relevance[a] > relevance[b];
+  });
+  if (k < static_cast<int>(indices.size())) indices.resize(k);
+  std::sort(indices.begin(), indices.end());
+  return indices;
+}
+
+}  // namespace fastft

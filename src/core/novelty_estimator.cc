@@ -1,0 +1,99 @@
+#include "core/novelty_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace fastft {
+namespace {
+
+nn::SequenceModelConfig TargetConfig(const NoveltyConfig& config) {
+  nn::SequenceModelConfig mc;
+  mc.backbone = config.backbone;
+  mc.vocab_size = config.vocab_size;
+  mc.embed_dim = config.embed_dim;
+  mc.hidden_dim = config.hidden_dim;
+  mc.num_layers = config.num_layers;
+  mc.head_dims = {1};  // paper: target has 1 FC layer of width 1
+  mc.orthogonal_gain = config.orthogonal_gain;
+  mc.seed = config.seed;
+  return mc;
+}
+
+nn::SequenceModelConfig EstimatorConfig(const NoveltyConfig& config) {
+  nn::SequenceModelConfig mc = TargetConfig(config);
+  mc.head_dims = {16, 4, 1};  // paper: estimator head widths 16, 4, 1
+  mc.orthogonal_gain = 0.0;
+  // Independent stream: different seed decouples estimator from target.
+  mc.seed = config.seed ^ 0x5DEECE66DULL;
+  return mc;
+}
+
+}  // namespace
+
+NoveltyEstimator::NoveltyEstimator(const NoveltyConfig& config)
+    : target_(TargetConfig(config)), estimator_(EstimatorConfig(config)) {}
+
+double NoveltyEstimator::Novelty(const std::vector<int>& tokens) {
+  double diff = estimator_.Forward(tokens) - target_.Forward(tokens);
+  return diff * diff;
+}
+
+void NoveltyEstimator::UpdateRunningScale(double raw) {
+  ++observations_;
+  double delta = raw - running_mean_;
+  running_mean_ += delta / static_cast<double>(observations_);
+  running_var_ += (raw - running_mean_) * delta;
+}
+
+double NoveltyEstimator::NormalizedNovelty(const std::vector<int>& tokens) {
+  double raw = Novelty(tokens);
+  UpdateRunningScale(raw);
+  double var = observations_ > 1
+                   ? running_var_ / static_cast<double>(observations_ - 1)
+                   : 1.0;
+  double scale = std::sqrt(std::max(var, 1e-12));
+  return std::clamp(raw / (scale + 1e-9), 0.0, 10.0);
+}
+
+double NoveltyEstimator::Fit(const std::vector<std::vector<int>>& sequences,
+                             int epochs, Rng* rng) {
+  FASTFT_CHECK(rng != nullptr);
+  if (sequences.empty()) return 0.0;
+  double last = 0.0;
+  std::vector<int> order(sequences.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    rng->Shuffle(order);
+    double loss = 0.0;
+    for (int i : order) {
+      double target = target_.Forward(sequences[i]);
+      loss += estimator_.TrainStep(sequences[i], target);
+      estimator_.ApplyStep();
+    }
+    last = loss / static_cast<double>(sequences.size());
+  }
+  return last;
+}
+
+double NoveltyEstimator::Finetune(
+    const std::vector<std::vector<int>>& sequences) {
+  if (sequences.empty()) return 0.0;
+  double loss = 0.0;
+  for (const std::vector<int>& tokens : sequences) {
+    double target = target_.Forward(tokens);
+    loss += estimator_.TrainStep(tokens, target);
+    estimator_.ApplyStep();
+  }
+  return loss / static_cast<double>(sequences.size());
+}
+
+std::vector<double> NoveltyEstimator::TargetEmbedding(
+    const std::vector<int>& tokens) {
+  return target_.Encode(tokens);
+}
+
+}  // namespace fastft

@@ -1,0 +1,105 @@
+#include "core/operations.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fastft {
+namespace {
+
+constexpr double kDivEps = 1e-6;
+constexpr double kExpCap = 15.0;
+constexpr double kValueCap = 1e9;
+
+double Guard(double v) {
+  if (std::isnan(v)) return 0.0;
+  return std::clamp(v, -kValueCap, kValueCap);
+}
+
+}  // namespace
+
+bool IsUnary(OpType op) {
+  return static_cast<int>(op) < kNumUnaryOperations;
+}
+
+const std::string& OpName(OpType op) {
+  static const std::vector<std::string>& names = *new std::vector<std::string>{
+      "square", "sqrt", "log", "exp", "recip", "sin", "cos", "tanh",
+      "cube",   "+",    "-",   "*",   "/",
+  };
+  int index = static_cast<int>(op);
+  FASTFT_CHECK_GE(index, 0);
+  FASTFT_CHECK_LT(index, kNumOperations);
+  return names[index];
+}
+
+OpType OpFromIndex(int index) {
+  FASTFT_CHECK_GE(index, 0);
+  FASTFT_CHECK_LT(index, kNumOperations);
+  return static_cast<OpType>(index);
+}
+
+double ApplyUnary(OpType op, double a) {
+  switch (op) {
+    case OpType::kSquare:
+      return Guard(a * a);
+    case OpType::kSqrtAbs:
+      return Guard(std::sqrt(std::abs(a)));
+    case OpType::kLog1pAbs:
+      return Guard(std::log1p(std::abs(a)));
+    case OpType::kExpClip:
+      return Guard(std::exp(std::clamp(a, -kExpCap, kExpCap)));
+    case OpType::kReciprocal:
+      return Guard(1.0 / (std::abs(a) > kDivEps
+                              ? a
+                              : (a >= 0 ? kDivEps : -kDivEps)));
+    case OpType::kSin:
+      return Guard(std::sin(a));
+    case OpType::kCos:
+      return Guard(std::cos(a));
+    case OpType::kTanh:
+      return Guard(std::tanh(a));
+    case OpType::kCube:
+      return Guard(a * a * a);
+    default:
+      FASTFT_CHECK(false) << "unary application of binary op";
+  }
+  return 0.0;
+}
+
+double ApplyBinary(OpType op, double a, double b) {
+  switch (op) {
+    case OpType::kAdd:
+      return Guard(a + b);
+    case OpType::kSub:
+      return Guard(a - b);
+    case OpType::kMul:
+      return Guard(a * b);
+    case OpType::kDiv:
+      return Guard(a / (std::abs(b) > kDivEps
+                            ? b
+                            : (b >= 0 ? kDivEps : -kDivEps)));
+    default:
+      FASTFT_CHECK(false) << "binary application of unary op";
+  }
+  return 0.0;
+}
+
+std::vector<double> ApplyUnary(OpType op, const std::vector<double>& a) {
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = ApplyUnary(op, a[i]);
+  return out;
+}
+
+std::vector<double> ApplyBinary(OpType op, const std::vector<double>& a,
+                                const std::vector<double>& b) {
+  FASTFT_CHECK_EQ(a.size(), b.size());
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    out[i] = ApplyBinary(op, a[i], b[i]);
+  }
+  return out;
+}
+
+}  // namespace fastft

@@ -1,0 +1,57 @@
+// The mathematical operation set O (paper Definition 1).
+//
+// Unary operations map one column to a new column; binary operations map two.
+// Every operation is numerically guarded (no NaN/Inf escapes): division
+// clamps near-zero denominators, log/sqrt act on magnitudes, exp saturates.
+
+#ifndef FASTFT_CORE_OPERATIONS_H_
+#define FASTFT_CORE_OPERATIONS_H_
+
+#include <string>
+#include <vector>
+
+namespace fastft {
+
+enum class OpType : int {
+  // Unary.
+  kSquare = 0,
+  kSqrtAbs,
+  kLog1pAbs,
+  kExpClip,
+  kReciprocal,
+  kSin,
+  kCos,
+  kTanh,
+  kCube,
+  // Binary.
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kNumOps,
+};
+
+constexpr int kNumOperations = static_cast<int>(OpType::kNumOps);
+constexpr int kNumUnaryOperations = static_cast<int>(OpType::kAdd);
+
+/// True for operations consuming a single column.
+bool IsUnary(OpType op);
+
+/// Display / serialization name ("sqrt", "+", ...).
+const std::string& OpName(OpType op);
+
+/// Op by index (0..kNumOperations-1); checked.
+OpType OpFromIndex(int index);
+
+/// Scalar application. Binary ops ignore guarding-irrelevant `b` for unary.
+double ApplyUnary(OpType op, double a);
+double ApplyBinary(OpType op, double a, double b);
+
+/// Column-wise application.
+std::vector<double> ApplyUnary(OpType op, const std::vector<double>& a);
+std::vector<double> ApplyBinary(OpType op, const std::vector<double>& a,
+                                const std::vector<double>& b);
+
+}  // namespace fastft
+
+#endif  // FASTFT_CORE_OPERATIONS_H_

@@ -1,0 +1,68 @@
+// Performance Predictor φ(T) (paper §III-C, Eq. 3).
+//
+// LSTM (2 × 32) + FC {16, 1} over transformation-sequence tokens, trained on
+// (sequence, downstream score) pairs with MSE. One forward pass replaces a
+// full k-fold downstream evaluation — the paper's answer to the runtime
+// bottleneck (C1).
+
+#ifndef FASTFT_CORE_PERFORMANCE_PREDICTOR_H_
+#define FASTFT_CORE_PERFORMANCE_PREDICTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/sequence_model.h"
+
+namespace fastft {
+
+class Rng;
+
+/// A (transformation sequence, achieved score) training pair.
+struct SequenceRecord {
+  std::vector<int> tokens;
+  double score = 0.0;
+};
+
+struct PredictorConfig {
+  nn::Backbone backbone = nn::Backbone::kLstm;
+  int vocab_size = 64;
+  int embed_dim = 32;
+  int hidden_dim = 32;
+  int num_layers = 2;
+  double learning_rate = 2e-3;
+  uint64_t seed = 51;
+};
+
+class PerformancePredictor {
+ public:
+  explicit PerformancePredictor(const PredictorConfig& config);
+
+  /// Estimated downstream performance of the sequence.
+  double Predict(const std::vector<int>& tokens);
+
+  /// Trains for `epochs` passes over `records` (cold start, Eq. 3).
+  /// Returns the final mean squared error.
+  double Fit(const std::vector<SequenceRecord>& records, int epochs, Rng* rng);
+
+  /// One incremental pass over a finetuning batch (Algorithm 2 line 22).
+  double Finetune(const std::vector<SequenceRecord>& records);
+
+  /// Pooled sequence embedding (used by the novelty-distance metric of
+  /// Fig. 14 and by embedding-space baselines).
+  std::vector<double> Encode(const std::vector<int>& tokens);
+
+  /// Persists / restores trained weights (same PredictorConfig required).
+  Status Save(const std::string& path) { return model_.Save(path); }
+  Status Load(const std::string& path) { return model_.Load(path); }
+
+  size_t ParameterBytes() const { return model_.ParameterBytes(); }
+  size_t ActivationBytes(int len) const { return model_.ActivationBytes(len); }
+  nn::Backbone backbone() const { return model_.config().backbone; }
+
+ private:
+  nn::SequenceModel model_;
+};
+
+}  // namespace fastft
+
+#endif  // FASTFT_CORE_PERFORMANCE_PREDICTOR_H_

@@ -1,0 +1,96 @@
+// Q-learning cascades: DQN, Double DQN, Dueling DQN, Dueling Double DQN.
+//
+// Fig. 7 of the paper swaps the Actor-Critic framework for these four
+// value-based learners. Each agent keeps the cascading input structure of
+// agents.h but scores candidates with Q-values, explores ε-greedily, and
+// learns from TD targets computed with a periodically-synced target network.
+// Dueling variants decompose Q(s,a) = V(s) + A(s,a) − mean_a' A(s,a').
+
+#ifndef FASTFT_CORE_Q_AGENTS_H_
+#define FASTFT_CORE_Q_AGENTS_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/agents.h"
+
+namespace fastft {
+
+enum class QVariant { kDqn, kDoubleDqn, kDuelingDqn, kDuelingDoubleDqn };
+
+const char* QVariantName(QVariant variant);
+
+struct QAgentConfig {
+  int hidden_dim = 32;
+  double learning_rate = 3e-3;
+  double gamma = 0.9;
+  double epsilon = 0.15;
+  /// Optimize() calls between target-network syncs.
+  int target_sync_every = 8;
+  uint64_t seed = 4321;
+};
+
+class QCascade : public CascadePolicy {
+ public:
+  QCascade(QVariant variant, const QAgentConfig& config);
+
+  int SelectHead(const nn::Matrix& candidates, Rng* rng) override;
+  int SelectOperation(const nn::Matrix& input, Rng* rng) override;
+  int SelectTail(const nn::Matrix& candidates, Rng* rng) override;
+  void Optimize(const Transition& transition) override;
+  double TdError(const Transition& transition) override;
+  const char* name() const override { return QVariantName(variant_); }
+  void SetExplorationRate(double epsilon) override {
+    config_.epsilon = epsilon;
+  }
+
+ private:
+  /// One value head (candidate scorer or logits net) with its dueling value
+  /// stream and target copies.
+  struct QNet {
+    nn::Mlp online;
+    nn::Mlp target;
+    nn::Mlp value_online;  // dueling V(s) stream (state input)
+    nn::Mlp value_target;
+    std::unique_ptr<nn::AdamOptimizer> optimizer;
+    std::unique_ptr<nn::AdamOptimizer> value_optimizer;
+  };
+
+  bool Dueling() const {
+    return variant_ == QVariant::kDuelingDqn ||
+           variant_ == QVariant::kDuelingDoubleDqn;
+  }
+  bool DoubleQ() const {
+    return variant_ == QVariant::kDoubleDqn ||
+           variant_ == QVariant::kDuelingDoubleDqn;
+  }
+
+  QNet MakeNet(int input_dim, int output_dim, Rng* rng);
+  void SyncTargets();
+
+  /// Q-values for candidate rows (or a logits row) from the online/target
+  /// net, including the dueling combination when enabled.
+  std::vector<double> QValues(QNet* net, const nn::Matrix& inputs,
+                              const std::vector<double>& state,
+                              bool use_target);
+
+  /// Epsilon-greedy argmax over Q-values.
+  int Greedy(const std::vector<double>& q, Rng* rng) const;
+
+  /// TD target from the next state's head candidates (DQN vs DDQN rule).
+  double NextStateTarget(const Transition& t);
+
+  /// Regression update of Q(inputs, action) toward `target`.
+  void UpdateNet(QNet* net, const nn::Matrix& inputs,
+                 const std::vector<double>& state, int action, double target,
+                 bool logits_row);
+
+  QVariant variant_;
+  QAgentConfig config_;
+  QNet head_, op_, tail_;
+  int updates_ = 0;
+};
+
+}  // namespace fastft
+
+#endif  // FASTFT_CORE_Q_AGENTS_H_

@@ -1,0 +1,62 @@
+#include "core/replay_buffer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace fastft {
+namespace {
+constexpr double kMinPriority = 1e-4;
+}  // namespace
+
+void PrioritizedReplayBuffer::Add(Transition transition, double priority) {
+  double p = std::max(std::abs(priority), kMinPriority);
+  if (!Full()) {
+    items_.push_back(std::move(transition));
+    priorities_.push_back(p);
+    return;
+  }
+  items_[next_slot_] = std::move(transition);
+  priorities_[next_slot_] = p;
+  next_slot_ = (next_slot_ + 1) % capacity_;
+}
+
+const Transition& PrioritizedReplayBuffer::Get(int index) const {
+  FASTFT_CHECK_GE(index, 0);
+  FASTFT_CHECK_LT(index, size());
+  return items_[index];
+}
+
+Transition& PrioritizedReplayBuffer::GetMutable(int index) {
+  FASTFT_CHECK_GE(index, 0);
+  FASTFT_CHECK_LT(index, size());
+  return items_[index];
+}
+
+int PrioritizedReplayBuffer::SampleIndex(Rng* rng, bool prioritized) const {
+  FASTFT_CHECK_GT(size(), 0);
+  if (!prioritized) return rng->UniformInt(size());
+  return rng->SampleDiscrete(priorities_);
+}
+
+void PrioritizedReplayBuffer::UpdatePriority(int index, double priority) {
+  FASTFT_CHECK_GE(index, 0);
+  FASTFT_CHECK_LT(index, size());
+  priorities_[index] = std::max(std::abs(priority), kMinPriority);
+}
+
+double PrioritizedReplayBuffer::Priority(int index) const {
+  FASTFT_CHECK_GE(index, 0);
+  FASTFT_CHECK_LT(index, size());
+  return priorities_[index];
+}
+
+std::vector<int> PrioritizedReplayBuffer::UniformSampleIndices(
+    int count, Rng* rng) const {
+  count = std::min(count, size());
+  return rng->SampleWithoutReplacement(size(), count);
+}
+
+}  // namespace fastft

@@ -1,0 +1,135 @@
+#include "core/run_report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace fastft {
+namespace {
+
+// JSON has no NaN/Infinity literals; clamp defensively.
+void AppendNumber(std::ostringstream& out, double v) {
+  if (!std::isfinite(v)) {
+    out << "null";
+    return;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", v);
+  out << buffer;
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string RunReportJson(const Dataset& original,
+                          const EngineResult& result) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"dataset\": \"" << JsonEscape(original.name) << "\",\n";
+  out << "  \"task\": \"" << TaskTypeCode(original.task) << "\",\n";
+  out << "  \"rows\": " << original.NumRows() << ",\n";
+  out << "  \"original_features\": " << original.NumFeatures() << ",\n";
+  out << "  \"transformed_features\": " << result.best_dataset.NumFeatures()
+      << ",\n";
+  out << "  \"base_score\": ";
+  AppendNumber(out, result.base_score);
+  out << ",\n  \"best_score\": ";
+  AppendNumber(out, result.best_score);
+  out << ",\n  \"downstream_evaluations\": " << result.downstream_evaluations
+      << ",\n";
+  out << "  \"predictor_estimations\": " << result.predictor_estimations
+      << ",\n";
+  out << "  \"total_steps\": " << result.total_steps << ",\n";
+
+  out << "  \"times\": {";
+  bool first = true;
+  for (const auto& [bucket, seconds] : result.times.buckets()) {
+    if (!first) out << ", ";
+    first = false;
+    out << "\"" << JsonEscape(bucket) << "\": ";
+    AppendNumber(out, seconds);
+  }
+  out << "},\n";
+
+  out << "  \"generated_features\": [";
+  first = true;
+  for (int c = original.NumFeatures(); c < result.best_dataset.NumFeatures();
+       ++c) {
+    if (!first) out << ", ";
+    first = false;
+    out << "\"" << JsonEscape(result.best_dataset.features.Name(c)) << "\"";
+  }
+  out << "],\n";
+
+  out << "  \"episode_best\": [";
+  first = true;
+  for (double v : result.episode_best) {
+    if (!first) out << ", ";
+    first = false;
+    AppendNumber(out, v);
+  }
+  out << "],\n";
+
+  out << "  \"trace\": [\n";
+  for (size_t i = 0; i < result.trace.size(); ++i) {
+    const StepTrace& t = result.trace[i];
+    out << "    {\"episode\": " << t.episode << ", \"step\": " << t.step
+        << ", \"reward\": ";
+    AppendNumber(out, t.reward);
+    out << ", \"performance\": ";
+    AppendNumber(out, t.performance);
+    out << ", \"evaluated\": " << (t.downstream_evaluated ? "true" : "false")
+        << ", \"generated\": " << (t.generated ? "true" : "false");
+    if (!t.top_new_feature.empty()) {
+      out << ", \"top_feature\": \"" << JsonEscape(t.top_new_feature) << "\"";
+    }
+    out << "}";
+    if (i + 1 < result.trace.size()) out << ",";
+    out << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+Status WriteRunReport(const Dataset& original, const EngineResult& result,
+                      const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << RunReportJson(original, result);
+  return out.good() ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+}  // namespace fastft

@@ -1,0 +1,32 @@
+// JSON run reports: a machine-readable summary of an engine run.
+//
+// Downstream tooling (dashboards, sweep scripts) consumes the engine's
+// outcome without parsing stdout. The writer emits a self-contained JSON
+// object; no external JSON dependency is used (output only).
+
+#ifndef FASTFT_CORE_RUN_REPORT_H_
+#define FASTFT_CORE_RUN_REPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/engine.h"
+
+namespace fastft {
+
+/// Serializes the result of an engine run (scores, timing buckets,
+/// evaluation counts, generated-feature expressions, and the per-step
+/// trace) as a JSON object.
+std::string RunReportJson(const Dataset& original, const EngineResult& result);
+
+/// Writes RunReportJson to `path`.
+Status WriteRunReport(const Dataset& original, const EngineResult& result,
+                      const std::string& path);
+
+/// Escapes a string for embedding in JSON (quotes, backslashes, control
+/// characters). Exposed for tests.
+std::string JsonEscape(const std::string& text);
+
+}  // namespace fastft
+
+#endif  // FASTFT_CORE_RUN_REPORT_H_

@@ -1,0 +1,64 @@
+#include "core/state.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace fastft {
+namespace {
+
+// Compresses dynamic range so state entries stay O(1) for the policy nets.
+double Squash(double v) {
+  return std::copysign(std::log1p(std::abs(v)), v);
+}
+
+std::vector<double> StatsOfStats(const FeatureSpace& space,
+                                 const std::vector<int>& columns) {
+  FASTFT_CHECK(!columns.empty());
+  const int fields = Summary::kNumFields;
+  // Column summaries: fields streams of one value per column.
+  std::vector<std::vector<double>> streams(fields);
+  for (int c : columns) {
+    std::vector<double> flat = space.ColumnSummary(c).ToVector();
+    for (int f = 0; f < fields; ++f) streams[f].push_back(flat[f]);
+  }
+  std::vector<double> state;
+  state.reserve(kStateDim);
+  for (int f = 0; f < fields; ++f) {
+    std::vector<double> flat = Summarize(streams[f]).ToVector();
+    for (double v : flat) state.push_back(Squash(v));
+  }
+  FASTFT_CHECK_EQ(static_cast<int>(state.size()), kStateDim);
+  return state;
+}
+
+}  // namespace
+
+std::vector<double> ClusterState(const FeatureSpace& space,
+                                 const std::vector<int>& columns) {
+  return StatsOfStats(space, columns);
+}
+
+std::vector<double> FeatureSetState(const FeatureSpace& space) {
+  std::vector<int> all(space.NumColumns());
+  for (int c = 0; c < space.NumColumns(); ++c) all[c] = c;
+  return StatsOfStats(space, all);
+}
+
+std::vector<double> OperationOneHot(OpType op) {
+  std::vector<double> onehot(kNumOperations, 0.0);
+  onehot[static_cast<int>(op)] = 1.0;
+  return onehot;
+}
+
+std::vector<double> Concat(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  std::vector<double> out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+}  // namespace fastft

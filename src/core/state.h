@@ -1,0 +1,37 @@
+// State representation (paper Fig. 4): descriptive-statistics-of-statistics.
+//
+// A feature cluster (or the whole set) is summarized by computing the
+// seven-number summary of every column, then summarizing each of the seven
+// statistic streams across columns — a fixed 49-dim vector independent of
+// column count or row count.
+
+#ifndef FASTFT_CORE_STATE_H_
+#define FASTFT_CORE_STATE_H_
+
+#include <vector>
+
+#include "core/feature_space.h"
+#include "core/operations.h"
+
+namespace fastft {
+
+/// Dimension of a cluster / feature-set state vector.
+constexpr int kStateDim = 49;  // Summary::kNumFields squared
+
+/// Rep(C): 49-dim state of the given columns of `space`.
+std::vector<double> ClusterState(const FeatureSpace& space,
+                                 const std::vector<int>& columns);
+
+/// Rep(F̂): 49-dim state of all current columns.
+std::vector<double> FeatureSetState(const FeatureSpace& space);
+
+/// Rep(o): one-hot over the operation set.
+std::vector<double> OperationOneHot(OpType op);
+
+/// Concatenation helper.
+std::vector<double> Concat(const std::vector<double>& a,
+                           const std::vector<double>& b);
+
+}  // namespace fastft
+
+#endif  // FASTFT_CORE_STATE_H_

@@ -1,0 +1,34 @@
+#include "core/tokenizer.h"
+
+namespace fastft {
+
+std::vector<int> Tokenizer::EncodeExpr(const ExprPtr& expr) const {
+  std::vector<PostfixItem> items;
+  AppendPostfix(expr, &items);
+  std::vector<int> tokens;
+  tokens.reserve(items.size());
+  for (const PostfixItem& item : items) {
+    tokens.push_back(item.is_op ? OpToken(item.index)
+                                : FeatureToken(item.index));
+  }
+  return tokens;
+}
+
+std::vector<int> Tokenizer::EncodeFeatureSet(
+    const std::vector<ExprPtr>& exprs) const {
+  std::vector<int> tokens;
+  tokens.push_back(kBos);
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    if (i > 0) tokens.push_back(kSep);
+    std::vector<int> expr_tokens = EncodeExpr(exprs[i]);
+    tokens.insert(tokens.end(), expr_tokens.begin(), expr_tokens.end());
+    if (static_cast<int>(tokens.size()) >= max_length_ - 1) break;
+  }
+  if (static_cast<int>(tokens.size()) > max_length_ - 1) {
+    tokens.resize(max_length_ - 1);
+  }
+  tokens.push_back(kEos);
+  return tokens;
+}
+
+}  // namespace fastft

@@ -1,0 +1,141 @@
+#include "data/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace fastft {
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::stringstream ss(line);
+  while (std::getline(ss, cell, ',')) {
+    // Trim surrounding whitespace and CR.
+    size_t b = cell.find_first_not_of(" \t\r");
+    size_t e = cell.find_last_not_of(" \t\r");
+    cells.push_back(b == std::string::npos ? "" : cell.substr(b, e - b + 1));
+  }
+  if (!line.empty() && line.back() == ',') cells.push_back("");
+  return cells;
+}
+
+bool TryParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+Result<DataFrame> ParseCsv(const std::string& text) {
+  std::stringstream ss(text);
+  std::string line;
+  if (!std::getline(ss, line)) {
+    return Status::InvalidArgument("empty CSV input");
+  }
+  std::vector<std::string> header = SplitLine(line);
+  const size_t num_cols = header.size();
+  if (num_cols == 0) return Status::InvalidArgument("empty CSV header");
+
+  std::vector<std::vector<std::string>> raw(num_cols);
+  int row = 0;
+  while (std::getline(ss, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> cells = SplitLine(line);
+    if (cells.size() != num_cols) {
+      return Status::InvalidArgument(
+          "row " + std::to_string(row) + " has " +
+          std::to_string(cells.size()) + " cells, expected " +
+          std::to_string(num_cols));
+    }
+    for (size_t c = 0; c < num_cols; ++c) raw[c].push_back(cells[c]);
+    ++row;
+  }
+
+  DataFrame frame;
+  for (size_t c = 0; c < num_cols; ++c) {
+    std::vector<double> values(raw[c].size());
+    bool numeric = true;
+    for (size_t r = 0; r < raw[c].size(); ++r) {
+      if (!TryParseDouble(raw[c][r], &values[r])) {
+        numeric = false;
+        break;
+      }
+    }
+    if (!numeric) {
+      // Categorical: encode distinct strings in first-seen order.
+      std::map<std::string, double> codes;
+      for (size_t r = 0; r < raw[c].size(); ++r) {
+        auto [it, inserted] =
+            codes.emplace(raw[c][r], static_cast<double>(codes.size()));
+        values[r] = it->second;
+      }
+    }
+    FASTFT_RETURN_NOT_OK(frame.AddColumn(header[c], std::move(values)));
+  }
+  return frame;
+}
+
+Result<DataFrame> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(buffer.str());
+}
+
+std::string WriteCsv(const DataFrame& frame) {
+  std::ostringstream out;
+  out.precision(12);
+  for (int c = 0; c < frame.NumCols(); ++c) {
+    if (c > 0) out << ',';
+    out << frame.Name(c);
+  }
+  out << '\n';
+  for (int r = 0; r < frame.NumRows(); ++r) {
+    for (int c = 0; c < frame.NumCols(); ++c) {
+      if (c > 0) out << ',';
+      out << frame.At(r, c);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+Status WriteCsvFile(const DataFrame& frame, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << WriteCsv(frame);
+  return out.good() ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+Result<Dataset> ReadDatasetCsv(const std::string& path,
+                               const std::string& label_column,
+                               TaskType task) {
+  Result<DataFrame> parsed = ReadCsvFile(path);
+  if (!parsed.ok()) return parsed.status();
+  DataFrame frame = std::move(parsed).ValueOrDie();
+  int label_idx = frame.FindColumn(label_column);
+  if (label_idx < 0) {
+    return Status::NotFound("label column '" + label_column + "' not in " +
+                            path);
+  }
+  Dataset ds;
+  ds.name = path;
+  ds.task = task;
+  ds.labels = frame.Col(label_idx);
+  FASTFT_RETURN_NOT_OK(frame.DropColumn(label_idx));
+  ds.features = std::move(frame);
+  FASTFT_RETURN_NOT_OK(ds.Validate());
+  return ds;
+}
+
+}  // namespace fastft

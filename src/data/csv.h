@@ -1,0 +1,36 @@
+// Minimal CSV reader/writer for numeric tables.
+//
+// Supports a header row, comma separation, and numeric cells. Non-numeric
+// cells in a column promote that column to categorical: distinct strings are
+// mapped to integer codes in first-seen order.
+
+#ifndef FASTFT_DATA_CSV_H_
+#define FASTFT_DATA_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace fastft {
+
+/// Parses CSV text (with header) into a DataFrame.
+Result<DataFrame> ParseCsv(const std::string& text);
+
+/// Reads a CSV file (with header) into a DataFrame.
+Result<DataFrame> ReadCsvFile(const std::string& path);
+
+/// Serializes a DataFrame to CSV text with a header row.
+std::string WriteCsv(const DataFrame& frame);
+
+/// Writes a DataFrame to `path` as CSV.
+Status WriteCsvFile(const DataFrame& frame, const std::string& path);
+
+/// Reads a CSV file and splits off `label_column` (by name) as the labels of
+/// a Dataset with the given task type.
+Result<Dataset> ReadDatasetCsv(const std::string& path,
+                               const std::string& label_column, TaskType task);
+
+}  // namespace fastft
+
+#endif  // FASTFT_DATA_CSV_H_

@@ -1,0 +1,115 @@
+#include "data/dataset_zoo.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fastft {
+namespace {
+
+// Scaled sample count: sub-linear in the paper's size, clamped to keep the
+// full 23x11 Table I harness fast while preserving the size *ordering*
+// (needed by the scalability experiments).
+int ScaledSamples(int paper_samples) {
+  int scaled = static_cast<int>(4.0 * std::sqrt(static_cast<double>(
+                                          std::max(paper_samples, 1))));
+  return std::clamp(scaled, 160, 900);
+}
+
+int ScaledFeatures(int paper_features) {
+  return std::clamp(paper_features, 3, 48);
+}
+
+std::vector<ZooEntry> BuildZoo() {
+  struct Raw {
+    const char* name;
+    const char* source;
+    TaskType task;
+    int samples;
+    int features;
+    int classes;
+  };
+  // Table I of the paper, in order.
+  const Raw raws[] = {
+      {"Alzheimers", "Kaggle", TaskType::kClassification, 2149, 33, 2},
+      {"Cardiovascular", "Kaggle", TaskType::kClassification, 5000, 12, 2},
+      {"Fetal Health", "Kaggle", TaskType::kClassification, 2126, 22, 3},
+      {"Pima Indian", "UCIrvine", TaskType::kClassification, 768, 8, 2},
+      {"SVMGuide3", "LibSVM", TaskType::kClassification, 1243, 21, 2},
+      {"Amazon Employee", "Kaggle", TaskType::kClassification, 32769, 9, 2},
+      {"German Credit", "UCIrvine", TaskType::kClassification, 1001, 24, 2},
+      {"Wine Quality Red", "UCIrvine", TaskType::kClassification, 999, 12, 4},
+      {"Wine Quality White", "UCIrvine", TaskType::kClassification, 4898, 12,
+       4},
+      {"Jannis", "AutoML", TaskType::kClassification, 83733, 55, 4},
+      {"Adult", "AutoML", TaskType::kClassification, 34190, 25, 2},
+      {"Volkert", "AutoML", TaskType::kClassification, 58310, 181, 10},
+      {"Albert", "AutoML", TaskType::kClassification, 425240, 79, 2},
+      {"OpenML_618", "OpenML", TaskType::kRegression, 1000, 50, 0},
+      {"OpenML_589", "OpenML", TaskType::kRegression, 1000, 25, 0},
+      {"OpenML_616", "OpenML", TaskType::kRegression, 500, 50, 0},
+      {"OpenML_607", "OpenML", TaskType::kRegression, 1000, 50, 0},
+      {"OpenML_620", "OpenML", TaskType::kRegression, 1000, 25, 0},
+      {"OpenML_637", "OpenML", TaskType::kRegression, 500, 50, 0},
+      {"OpenML_586", "OpenML", TaskType::kRegression, 1000, 25, 0},
+      {"WBC", "UCIrvine", TaskType::kDetection, 278, 30, 2},
+      {"Mammography", "OpenML", TaskType::kDetection, 11183, 6, 2},
+      {"Thyroid", "UCIrvine", TaskType::kDetection, 3772, 6, 2},
+      {"SMTP", "UCIrvine", TaskType::kDetection, 95156, 3, 2},
+  };
+  std::vector<ZooEntry> zoo;
+  for (const Raw& raw : raws) {
+    ZooEntry e;
+    e.name = raw.name;
+    e.source = raw.source;
+    e.task = raw.task;
+    e.paper_samples = raw.samples;
+    e.paper_features = raw.features;
+    e.samples = ScaledSamples(raw.samples);
+    e.features = ScaledFeatures(raw.features);
+    e.classes = raw.classes;
+    zoo.push_back(e);
+  }
+  return zoo;
+}
+
+}  // namespace
+
+const std::vector<ZooEntry>& AllZooEntries() {
+  static const std::vector<ZooEntry>& zoo = *new std::vector<ZooEntry>(
+      BuildZoo());
+  return zoo;
+}
+
+Result<ZooEntry> FindZooEntry(const std::string& name) {
+  for (const ZooEntry& e : AllZooEntries()) {
+    if (e.name == name) return e;
+  }
+  return Status::NotFound("no zoo dataset named '" + name + "'");
+}
+
+Dataset GenerateZooDataset(const ZooEntry& entry, int sample_override) {
+  SyntheticSpec spec;
+  spec.samples = sample_override > 0 ? sample_override : entry.samples;
+  spec.features = entry.features;
+  spec.classes = std::max(entry.classes, 2);
+  spec.informative = std::max(3, std::min(entry.features, entry.features / 2 + 2));
+  spec.interaction_terms = std::clamp(entry.features, 6, 16);
+  // Stable per-name seed: FNV-1a over the name.
+  uint64_t seed = 1469598103934665603ULL;
+  for (char ch : entry.name) {
+    seed ^= static_cast<unsigned char>(ch);
+    seed *= 1099511628211ULL;
+  }
+  spec.seed = seed;
+  Dataset ds = MakeSynthetic(entry.task, spec);
+  ds.name = entry.name;
+  return ds;
+}
+
+Result<Dataset> LoadZooDataset(const std::string& name, int sample_override) {
+  Result<ZooEntry> entry = FindZooEntry(name);
+  if (!entry.ok()) return entry.status();
+  return GenerateZooDataset(entry.value(), sample_override);
+}
+
+}  // namespace fastft

@@ -1,0 +1,48 @@
+// The dataset zoo: named synthetic counterparts of the paper's 23 datasets.
+//
+// Each entry records the paper's task type, source, and original shape, plus
+// the scaled-down shape used here (sample counts shrink sub-linearly so the
+// full Table I harness stays laptop-fast; feature counts are kept up to a
+// cap of 48). `LoadZooDataset` is deterministic per name.
+
+#ifndef FASTFT_DATA_DATASET_ZOO_H_
+#define FASTFT_DATA_DATASET_ZOO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "data/synthetic.h"
+
+namespace fastft {
+
+struct ZooEntry {
+  std::string name;
+  std::string source;  // Kaggle / UCIrvine / LibSVM / OpenML / AutoML
+  TaskType task;
+  int paper_samples;
+  int paper_features;
+  /// Shape actually generated.
+  int samples;
+  int features;
+  int classes;  // classification only
+};
+
+/// All 23 entries in the paper's Table I order.
+const std::vector<ZooEntry>& AllZooEntries();
+
+/// Entry by name (case-sensitive).
+Result<ZooEntry> FindZooEntry(const std::string& name);
+
+/// Generates the synthetic counterpart of the named dataset.
+/// `sample_override` > 0 replaces the default scaled sample count.
+Result<Dataset> LoadZooDataset(const std::string& name,
+                               int sample_override = 0);
+
+/// Generates from an entry directly.
+Dataset GenerateZooDataset(const ZooEntry& entry, int sample_override = 0);
+
+}  // namespace fastft
+
+#endif  // FASTFT_DATA_DATASET_ZOO_H_

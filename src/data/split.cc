@@ -1,0 +1,97 @@
+#include "data/split.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace fastft {
+namespace {
+
+// Groups row indices by class (single group for regression), shuffled.
+std::vector<std::vector<int>> GroupedIndices(const Dataset& dataset,
+                                             Rng* rng) {
+  std::vector<std::vector<int>> groups;
+  if (dataset.task == TaskType::kRegression) {
+    std::vector<int> all(dataset.NumRows());
+    for (int i = 0; i < dataset.NumRows(); ++i) all[i] = i;
+    rng->Shuffle(all);
+    groups.push_back(std::move(all));
+  } else {
+    std::map<int, std::vector<int>> by_class;
+    for (int i = 0; i < dataset.NumRows(); ++i) {
+      by_class[static_cast<int>(dataset.labels[i])].push_back(i);
+    }
+    for (auto& [cls, idx] : by_class) {
+      rng->Shuffle(idx);
+      groups.push_back(std::move(idx));
+    }
+  }
+  return groups;
+}
+
+}  // namespace
+
+TrainTestIndices TrainTestSplit(const Dataset& dataset, double test_fraction,
+                                uint64_t seed) {
+  FASTFT_CHECK(test_fraction > 0.0 && test_fraction < 1.0);
+  Rng rng(seed);
+  TrainTestIndices out;
+  for (const std::vector<int>& group : GroupedIndices(dataset, &rng)) {
+    int n_test = std::max(
+        1, static_cast<int>(test_fraction * static_cast<double>(group.size())));
+    if (n_test >= static_cast<int>(group.size()) && group.size() > 1) {
+      n_test = static_cast<int>(group.size()) - 1;
+    }
+    for (size_t i = 0; i < group.size(); ++i) {
+      (static_cast<int>(i) < n_test ? out.test : out.train).push_back(group[i]);
+    }
+  }
+  std::sort(out.train.begin(), out.train.end());
+  std::sort(out.test.begin(), out.test.end());
+  return out;
+}
+
+std::vector<TrainTestIndices> KFoldSplit(const Dataset& dataset, int folds,
+                                         uint64_t seed) {
+  FASTFT_CHECK_GE(folds, 2);
+  Rng rng(seed);
+  std::vector<std::vector<int>> fold_members(folds);
+  int cursor = 0;
+  for (const std::vector<int>& group : GroupedIndices(dataset, &rng)) {
+    for (int idx : group) {
+      fold_members[cursor % folds].push_back(idx);
+      ++cursor;
+    }
+  }
+  std::vector<TrainTestIndices> out(folds);
+  for (int k = 0; k < folds; ++k) {
+    for (int j = 0; j < folds; ++j) {
+      auto& dst = (j == k) ? out[k].test : out[k].train;
+      dst.insert(dst.end(), fold_members[j].begin(), fold_members[j].end());
+    }
+    std::sort(out[k].train.begin(), out[k].train.end());
+    std::sort(out[k].test.begin(), out[k].test.end());
+  }
+  return out;
+}
+
+TrainTestData MaterializeSplit(const Dataset& dataset,
+                               const TrainTestIndices& indices) {
+  TrainTestData out;
+  out.train.name = dataset.name;
+  out.train.task = dataset.task;
+  out.train.features = dataset.features.SelectRows(indices.train);
+  out.train.labels.reserve(indices.train.size());
+  for (int i : indices.train) out.train.labels.push_back(dataset.labels[i]);
+
+  out.test.name = dataset.name;
+  out.test.task = dataset.task;
+  out.test.features = dataset.features.SelectRows(indices.test);
+  out.test.labels.reserve(indices.test.size());
+  for (int i : indices.test) out.test.labels.push_back(dataset.labels[i]);
+  return out;
+}
+
+}  // namespace fastft

@@ -1,0 +1,39 @@
+// Train/test splitting and k-fold cross-validation index generation.
+
+#ifndef FASTFT_DATA_SPLIT_H_
+#define FASTFT_DATA_SPLIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace fastft {
+
+struct TrainTestIndices {
+  std::vector<int> train;
+  std::vector<int> test;
+};
+
+/// Random split with `test_fraction` of rows in the test set. For
+/// classification/detection the split is stratified per class so small
+/// classes appear on both sides.
+TrainTestIndices TrainTestSplit(const Dataset& dataset, double test_fraction,
+                                uint64_t seed);
+
+/// K-fold partition; fold k of the result is the test block of split k.
+/// Stratified for classification/detection tasks.
+std::vector<TrainTestIndices> KFoldSplit(const Dataset& dataset, int folds,
+                                         uint64_t seed);
+
+/// Materializes a train/test pair of datasets from index sets.
+struct TrainTestData {
+  Dataset train;
+  Dataset test;
+};
+TrainTestData MaterializeSplit(const Dataset& dataset,
+                               const TrainTestIndices& indices);
+
+}  // namespace fastft
+
+#endif  // FASTFT_DATA_SPLIT_H_

@@ -1,0 +1,274 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace fastft {
+namespace {
+
+// One interaction term over up to three features. Roughly a third of the
+// terms are shallow (single op on a pair) and the rest are *compositions*
+// (depth 2-3). The paper's premise is that meaningful feature crossings are
+// rare in the search space: shallow exhaustive enumeration (ERG-style) must
+// not suffice, while iterative crossing of generated features can reach the
+// composed structure.
+struct Term {
+  enum Kind {
+    // Shallow (depth 1):
+    kProduct,
+    kRatio,
+    kSquare,
+    kSine,
+    // Composed (depth 2-3):
+    kTripleProduct,    // a * b * c
+    kRatioOfProduct,   // (a * b) / (|c| + 0.5)
+    kLogProductTimes,  // log1p(|a * b|) * c
+    kDiffTimes,        // (a - b) * c
+    kSquareRatio,      // a^2 / (|b| + 0.5) - c
+    kSinProduct,       // sin(a * b) * c
+  };
+  Kind kind;
+  int a;
+  int b;
+  int c;
+  double weight;
+};
+
+std::vector<Term> MakeTerms(const SyntheticSpec& spec, Rng* rng) {
+  std::vector<Term> terms;
+  const int m = std::min(spec.informative, spec.features);
+  FASTFT_CHECK_GE(m, 1);
+  for (int t = 0; t < spec.interaction_terms; ++t) {
+    Term term;
+    term.kind = rng->Bernoulli(0.35)
+                    ? static_cast<Term::Kind>(rng->UniformInt(4))
+                    : static_cast<Term::Kind>(4 + rng->UniformInt(6));
+    term.a = rng->UniformInt(m);
+    term.b = rng->UniformInt(m);
+    term.c = rng->UniformInt(m);
+    term.weight = rng->Normal(0.0, 1.0);
+    terms.push_back(term);
+  }
+  return terms;
+}
+
+double EvalTerm(const Term& term, const std::vector<double>& x) {
+  double a = x[term.a];
+  double b = x[term.b];
+  double c = x[term.c];
+  switch (term.kind) {
+    case Term::kProduct:
+      return term.weight * a * b;
+    case Term::kRatio:
+      return term.weight * a / (std::abs(b) + 0.5);
+    case Term::kSquare:
+      return term.weight * a * a;
+    case Term::kSine:
+      return term.weight * std::sin(a + b);
+    case Term::kTripleProduct:
+      return term.weight * a * b * c;
+    case Term::kRatioOfProduct:
+      return term.weight * a * b / (std::abs(c) + 0.5);
+    case Term::kLogProductTimes:
+      return term.weight * std::log1p(std::abs(a * b)) * c;
+    case Term::kDiffTimes:
+      return term.weight * (a - b) * c;
+    case Term::kSquareRatio:
+      return term.weight * (a * a / (std::abs(b) + 0.5) - c);
+    case Term::kSinProduct:
+      return term.weight * std::sin(a * b) * c;
+  }
+  return 0.0;
+}
+
+// Base feature matrix: a mix of normal, uniform, and lognormal columns so
+// that state statistics differ across clusters. Returns row-major samples.
+std::vector<std::vector<double>> MakeBase(const SyntheticSpec& spec,
+                                          Rng* rng) {
+  std::vector<int> kinds(spec.features);
+  for (int c = 0; c < spec.features; ++c) kinds[c] = rng->UniformInt(3);
+  std::vector<std::vector<double>> rows(
+      spec.samples, std::vector<double>(spec.features));
+  for (int r = 0; r < spec.samples; ++r) {
+    for (int c = 0; c < spec.features; ++c) {
+      switch (kinds[c]) {
+        case 0:
+          rows[r][c] = rng->Normal();
+          break;
+        case 1:
+          rows[r][c] = rng->Uniform(-1.5, 1.5);
+          break;
+        default:
+          rows[r][c] = std::exp(rng->Normal(0.0, 0.5)) - 1.0;
+          break;
+      }
+    }
+  }
+  return rows;
+}
+
+DataFrame RowsToFrame(const std::vector<std::vector<double>>& rows,
+                      int num_features) {
+  DataFrame frame;
+  for (int c = 0; c < num_features; ++c) {
+    std::vector<double> col(rows.size());
+    for (size_t r = 0; r < rows.size(); ++r) col[r] = rows[r][c];
+    FASTFT_CHECK(frame.AddColumn("f" + std::to_string(c), std::move(col)).ok());
+  }
+  return frame;
+}
+
+}  // namespace
+
+Dataset MakeClassification(const SyntheticSpec& spec) {
+  FASTFT_CHECK_GE(spec.classes, 2);
+  Rng rng(spec.seed);
+  // One scoring function per class.
+  std::vector<std::vector<Term>> class_terms(spec.classes);
+  for (int c = 0; c < spec.classes; ++c) class_terms[c] = MakeTerms(spec, &rng);
+
+  std::vector<std::vector<double>> rows = MakeBase(spec, &rng);
+  // Raw class scores (including the per-sample noise draw, fixed up front
+  // so bias calibration below stays deterministic).
+  std::vector<std::vector<double>> scores(
+      spec.samples, std::vector<double>(spec.classes));
+  for (int r = 0; r < spec.samples; ++r) {
+    for (int c = 0; c < spec.classes; ++c) {
+      double score = rng.Normal(0.0, spec.noise);
+      for (const Term& t : class_terms[c]) score += EvalTerm(t, rows[r]);
+      scores[r][c] = score;
+    }
+  }
+  // Calibrate per-class biases so the argmax classes are roughly balanced —
+  // an uncalibrated argmax of random score functions is typically very
+  // skewed, which floors macro-F1 at the majority-class level and leaves
+  // downstream models no headroom.
+  std::vector<double> bias(spec.classes, 0.0);
+  const double target = static_cast<double>(spec.samples) / spec.classes;
+  for (int iter = 0; iter < 25; ++iter) {
+    std::vector<double> counts(spec.classes, 1e-9);
+    for (int r = 0; r < spec.samples; ++r) {
+      int best = 0;
+      for (int c = 1; c < spec.classes; ++c) {
+        if (scores[r][c] + bias[c] > scores[r][best] + bias[best]) best = c;
+      }
+      counts[best] += 1.0;
+    }
+    for (int c = 0; c < spec.classes; ++c) {
+      bias[c] -= 0.5 * std::log(counts[c] / target);
+    }
+  }
+  std::vector<double> labels(spec.samples);
+  for (int r = 0; r < spec.samples; ++r) {
+    int best = 0;
+    for (int c = 1; c < spec.classes; ++c) {
+      if (scores[r][c] + bias[c] > scores[r][best] + bias[best]) best = c;
+    }
+    if (rng.Bernoulli(spec.label_noise)) best = rng.UniformInt(spec.classes);
+    labels[r] = static_cast<double>(best);
+  }
+  // Guarantee every class appears at least twice so stratified splits work.
+  for (int c = 0; c < spec.classes; ++c) {
+    int count = 0;
+    for (double y : labels) count += (static_cast<int>(y) == c);
+    for (int add = count; add < 2; ++add) {
+      labels[rng.UniformInt(spec.samples)] = static_cast<double>(c);
+    }
+  }
+
+  Dataset ds;
+  ds.task = TaskType::kClassification;
+  ds.features = RowsToFrame(rows, spec.features);
+  ds.labels = std::move(labels);
+  return ds;
+}
+
+Dataset MakeRegression(const SyntheticSpec& spec) {
+  Rng rng(spec.seed);
+  std::vector<Term> terms = MakeTerms(spec, &rng);
+  std::vector<std::vector<double>> rows = MakeBase(spec, &rng);
+  std::vector<double> labels(spec.samples);
+  for (int r = 0; r < spec.samples; ++r) {
+    double y = rng.Normal(0.0, spec.noise);
+    for (const Term& t : terms) y += EvalTerm(t, rows[r]);
+    labels[r] = y;
+  }
+  Dataset ds;
+  ds.task = TaskType::kRegression;
+  ds.features = RowsToFrame(rows, spec.features);
+  ds.labels = std::move(labels);
+  return ds;
+}
+
+Dataset MakeDetection(const SyntheticSpec& spec) {
+  Rng rng(spec.seed);
+  std::vector<std::vector<double>> rows = MakeBase(spec, &rng);
+  // Inlier manifold: a few "constraint" coordinates equal a product of two
+  // other coordinates (plus small noise). Anomalies break the constraint
+  // while every marginal stays in-distribution, so only *interaction*
+  // features (e.g. x_i * x_j - x_k) separate the classes.
+  std::vector<double> labels(spec.samples, 0.0);
+  const int m = std::max(3, std::min(spec.informative, spec.features));
+  struct Constraint {
+    int i, j, k;
+  };
+  std::vector<Constraint> constraints;
+  int num_constraints = std::max(1, m / 3);
+  for (int c = 0; c < num_constraints; ++c) {
+    Constraint con;
+    con.i = rng.UniformInt(std::min(m, spec.features));
+    con.j = rng.UniformInt(std::min(m, spec.features));
+    con.k = rng.UniformInt(std::min(m, spec.features));
+    if (con.k == con.i || con.k == con.j) con.k = (con.k + 1) % spec.features;
+    constraints.push_back(con);
+  }
+  for (int r = 0; r < spec.samples; ++r) {
+    bool anomaly = rng.Bernoulli(spec.anomaly_rate);
+    for (const Constraint& con : constraints) {
+      double coupled =
+          rows[r][con.i] * rows[r][con.j] + rng.Normal(0.0, spec.noise * 0.3);
+      // Inliers follow the constraint; anomalies keep an independent draw
+      // with the same marginal scale.
+      if (!anomaly) rows[r][con.k] = coupled;
+    }
+    labels[r] = anomaly ? 1.0 : 0.0;
+    if (rng.Bernoulli(spec.label_noise)) labels[r] = 1.0 - labels[r];
+  }
+  // Ensure both classes are represented (stratified splits need >=2 each).
+  int anomalies = 0;
+  for (double y : labels) anomalies += (y > 0.5);
+  if (anomalies < 2) {
+    labels[0] = 1.0;
+    labels[1 % spec.samples] = 1.0;
+  }
+  if (anomalies > spec.samples - 2) {
+    labels[0] = 0.0;
+    labels[1 % spec.samples] = 0.0;
+  }
+
+  Dataset ds;
+  ds.task = TaskType::kDetection;
+  ds.features = RowsToFrame(rows, spec.features);
+  ds.labels = std::move(labels);
+  return ds;
+}
+
+Dataset MakeSynthetic(TaskType task, const SyntheticSpec& spec) {
+  switch (task) {
+    case TaskType::kClassification:
+      return MakeClassification(spec);
+    case TaskType::kRegression:
+      return MakeRegression(spec);
+    case TaskType::kDetection:
+      return MakeDetection(spec);
+  }
+  FASTFT_CHECK(false) << "unreachable";
+  return Dataset{};
+}
+
+}  // namespace fastft

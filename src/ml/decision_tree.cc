@@ -1,0 +1,225 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace fastft {
+namespace {
+
+double GiniFromCounts(const std::vector<double>& counts, double total) {
+  if (total <= 0) return 0.0;
+  double gini = 1.0;
+  for (double c : counts) {
+    double p = c / total;
+    gini -= p * p;
+  }
+  return gini;
+}
+
+}  // namespace
+
+void DecisionTree::Fit(const Rows& x, const std::vector<double>& y) {
+  FASTFT_CHECK(!x.empty());
+  FASTFT_CHECK_EQ(x.size(), y.size());
+  num_features_ = static_cast<int>(x[0].size());
+  nodes_.clear();
+  importance_.assign(num_features_, 0.0);
+  if (config_.regression) {
+    num_classes_ = 0;
+  } else {
+    int max_label = 0;
+    for (double v : y) max_label = std::max(max_label, static_cast<int>(v));
+    num_classes_ = max_label + 1;
+  }
+  std::vector<int> rows(x.size());
+  std::iota(rows.begin(), rows.end(), 0);
+  Rng rng(config_.seed);
+  BuildNode(x, y, rows, 0, &rng);
+  double total = 0.0;
+  for (double v : importance_) total += v;
+  if (total > 0) {
+    for (double& v : importance_) v /= total;
+  }
+}
+
+int DecisionTree::BuildNode(const Rows& x, const std::vector<double>& y,
+                            std::vector<int>& rows, int depth, Rng* rng) {
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  const double n = static_cast<double>(rows.size());
+
+  // Node value and impurity.
+  double node_impurity = 0.0;
+  if (config_.regression) {
+    double sum = 0.0, sumsq = 0.0;
+    for (int r : rows) {
+      sum += y[r];
+      sumsq += y[r] * y[r];
+    }
+    double mean = sum / n;
+    node_impurity = std::max(0.0, sumsq / n - mean * mean);
+    nodes_[node_index].value = {mean};
+  } else {
+    std::vector<double> counts(num_classes_, 0.0);
+    for (int r : rows) counts[static_cast<int>(y[r])] += 1.0;
+    node_impurity = GiniFromCounts(counts, n);
+    for (double& c : counts) c /= n;
+    nodes_[node_index].value = std::move(counts);
+  }
+
+  const bool can_split = depth < config_.max_depth &&
+                         static_cast<int>(rows.size()) >=
+                             2 * config_.min_samples_leaf &&
+                         node_impurity > 1e-12;
+  if (!can_split) return node_index;
+
+  // Candidate features.
+  std::vector<int> candidates;
+  if (config_.max_features > 0 && config_.max_features < num_features_) {
+    candidates = rng->SampleWithoutReplacement(num_features_,
+                                               config_.max_features);
+  } else {
+    candidates.resize(num_features_);
+    std::iota(candidates.begin(), candidates.end(), 0);
+  }
+
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_gain = 1e-12;
+
+  std::vector<std::pair<double, double>> pairs;  // (feature value, label)
+  pairs.reserve(rows.size());
+  for (int feature : candidates) {
+    pairs.clear();
+    for (int r : rows) pairs.emplace_back(x[r][feature], y[r]);
+    std::sort(pairs.begin(), pairs.end());
+    if (pairs.front().first == pairs.back().first) continue;
+
+    if (config_.regression) {
+      double left_sum = 0.0, left_sumsq = 0.0;
+      double total_sum = 0.0, total_sumsq = 0.0;
+      for (const auto& [v, label] : pairs) {
+        total_sum += label;
+        total_sumsq += label * label;
+      }
+      for (size_t i = 0; i + 1 < pairs.size(); ++i) {
+        left_sum += pairs[i].second;
+        left_sumsq += pairs[i].second * pairs[i].second;
+        if (pairs[i].first == pairs[i + 1].first) continue;
+        double nl = static_cast<double>(i + 1);
+        double nr = n - nl;
+        if (nl < config_.min_samples_leaf || nr < config_.min_samples_leaf) {
+          continue;
+        }
+        double ml = left_sum / nl;
+        double mr = (total_sum - left_sum) / nr;
+        double vl = std::max(0.0, left_sumsq / nl - ml * ml);
+        double vr = std::max(0.0, (total_sumsq - left_sumsq) / nr - mr * mr);
+        double gain = node_impurity - (nl / n) * vl - (nr / n) * vr;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = feature;
+          best_threshold = 0.5 * (pairs[i].first + pairs[i + 1].first);
+        }
+      }
+    } else {
+      std::vector<double> left_counts(num_classes_, 0.0);
+      std::vector<double> total_counts(num_classes_, 0.0);
+      for (const auto& [v, label] : pairs) {
+        total_counts[static_cast<int>(label)] += 1.0;
+      }
+      std::vector<double> right_counts = total_counts;
+      for (size_t i = 0; i + 1 < pairs.size(); ++i) {
+        int cls = static_cast<int>(pairs[i].second);
+        left_counts[cls] += 1.0;
+        right_counts[cls] -= 1.0;
+        if (pairs[i].first == pairs[i + 1].first) continue;
+        double nl = static_cast<double>(i + 1);
+        double nr = n - nl;
+        if (nl < config_.min_samples_leaf || nr < config_.min_samples_leaf) {
+          continue;
+        }
+        double gain = node_impurity - (nl / n) * GiniFromCounts(left_counts, nl) -
+                      (nr / n) * GiniFromCounts(right_counts, nr);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = feature;
+          best_threshold = 0.5 * (pairs[i].first + pairs[i + 1].first);
+        }
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_index;
+
+  std::vector<int> left_rows, right_rows;
+  for (int r : rows) {
+    (x[r][best_feature] <= best_threshold ? left_rows : right_rows)
+        .push_back(r);
+  }
+  if (left_rows.empty() || right_rows.empty()) return node_index;
+
+  importance_[best_feature] += n * best_gain;
+  rows.clear();
+  rows.shrink_to_fit();
+
+  int left = BuildNode(x, y, left_rows, depth + 1, rng);
+  int right = BuildNode(x, y, right_rows, depth + 1, rng);
+  nodes_[node_index].feature = best_feature;
+  nodes_[node_index].threshold = best_threshold;
+  nodes_[node_index].left = left;
+  nodes_[node_index].right = right;
+  nodes_[node_index].is_leaf = false;
+  return node_index;
+}
+
+const DecisionTree::Node& DecisionTree::Descend(
+    const std::vector<double>& row) const {
+  FASTFT_CHECK(!nodes_.empty());
+  int index = 0;
+  while (!nodes_[index].is_leaf) {
+    const Node& node = nodes_[index];
+    index = row[node.feature] <= node.threshold ? node.left : node.right;
+  }
+  return nodes_[index];
+}
+
+std::vector<double> DecisionTree::PredictProba(
+    const std::vector<double>& row) const {
+  FASTFT_CHECK(!config_.regression);
+  return Descend(row).value;
+}
+
+double DecisionTree::PredictOne(const std::vector<double>& row) const {
+  const Node& leaf = Descend(row);
+  if (config_.regression) return leaf.value[0];
+  int best = 0;
+  for (int c = 1; c < num_classes_; ++c) {
+    if (leaf.value[c] > leaf.value[best]) best = c;
+  }
+  return static_cast<double>(best);
+}
+
+std::vector<double> DecisionTree::Predict(const Rows& x) const {
+  std::vector<double> out;
+  out.reserve(x.size());
+  for (const auto& row : x) out.push_back(PredictOne(row));
+  return out;
+}
+
+std::vector<double> DecisionTree::PredictScore(const Rows& x) const {
+  if (config_.regression) return Predict(x);
+  std::vector<double> out;
+  out.reserve(x.size());
+  for (const auto& row : x) {
+    const Node& leaf = Descend(row);
+    out.push_back(num_classes_ >= 2 ? leaf.value[1] : 0.0);
+  }
+  return out;
+}
+
+}  // namespace fastft

@@ -1,0 +1,71 @@
+// CART decision tree for classification (Gini) and regression (variance).
+//
+// Supports per-node feature subsampling (for forests), depth and leaf-size
+// limits, class-probability leaves, and impurity-decrease feature
+// importances (used by the traceability study, Table IV).
+
+#ifndef FASTFT_ML_DECISION_TREE_H_
+#define FASTFT_ML_DECISION_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/model.h"
+
+namespace fastft {
+
+struct TreeConfig {
+  bool regression = false;
+  int max_depth = 6;
+  int min_samples_leaf = 2;
+  /// Number of features examined per split; <=0 means all features.
+  int max_features = 0;
+  uint64_t seed = 13;
+};
+
+class DecisionTree : public Model {
+ public:
+  explicit DecisionTree(TreeConfig config = {}) : config_(config) {}
+
+  void Fit(const Rows& x, const std::vector<double>& y) override;
+  std::vector<double> Predict(const Rows& x) const override;
+  std::vector<double> PredictScore(const Rows& x) const override;
+
+  /// Single-row prediction without per-call allocation (hot path for
+  /// forests and boosting).
+  double PredictOne(const std::vector<double>& row) const;
+
+  /// Per-class probabilities for one sample (classification only).
+  std::vector<double> PredictProba(const std::vector<double>& row) const;
+
+  /// Total impurity decrease attributed to each feature; sums to ~1 after
+  /// normalization (all-zero if the tree is a stump).
+  const std::vector<double>& FeatureImportance() const { return importance_; }
+
+  int num_classes() const { return num_classes_; }
+
+ private:
+  struct Node {
+    int feature = -1;
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    bool is_leaf = true;
+    /// Class distribution (classification) or {mean} (regression).
+    std::vector<double> value;
+  };
+
+  int BuildNode(const Rows& x, const std::vector<double>& y,
+                std::vector<int>& rows, int depth, class Rng* rng);
+  const Node& Descend(const std::vector<double>& row) const;
+
+  TreeConfig config_;
+  int num_classes_ = 0;
+  int num_features_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<double> importance_;
+};
+
+}  // namespace fastft
+
+#endif  // FASTFT_ML_DECISION_TREE_H_

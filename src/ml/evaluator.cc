@@ -1,0 +1,136 @@
+#include "ml/evaluator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "data/split.h"
+#include "ml/gradient_boosting.h"
+#include "ml/linear_models.h"
+#include "ml/isolation_forest.h"
+#include "ml/knn.h"
+#include "ml/random_forest.h"
+
+namespace fastft {
+
+const char* ModelKindName(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kRandomForest:
+      return "RFC";
+    case ModelKind::kDecisionTree:
+      return "DT-C";
+    case ModelKind::kGradientBoosting:
+      return "XGBC";
+    case ModelKind::kLogisticRegression:
+      return "LR";
+    case ModelKind::kLinearSvm:
+      return "SVM-C";
+    case ModelKind::kRidge:
+      return "Ridge-C";
+    case ModelKind::kKnn:
+      return "KNN";
+    case ModelKind::kIsolationForest:
+      return "IForest";
+  }
+  return "?";
+}
+
+std::unique_ptr<Model> MakeModel(ModelKind kind, TaskType task, uint64_t seed,
+                                 int forest_trees, int forest_depth) {
+  const bool regression = task == TaskType::kRegression;
+  switch (kind) {
+    case ModelKind::kRandomForest: {
+      ForestConfig fc;
+      fc.regression = regression;
+      fc.num_trees = forest_trees;
+      fc.max_depth = forest_depth;
+      fc.seed = seed;
+      return std::make_unique<RandomForest>(fc);
+    }
+    case ModelKind::kDecisionTree: {
+      TreeConfig tc;
+      tc.regression = regression;
+      tc.max_depth = forest_depth;
+      tc.seed = seed;
+      return std::make_unique<DecisionTree>(tc);
+    }
+    case ModelKind::kGradientBoosting: {
+      BoostingConfig bc;
+      bc.regression = regression;
+      bc.seed = seed;
+      return std::make_unique<GradientBoosting>(bc);
+    }
+    case ModelKind::kLogisticRegression: {
+      FASTFT_CHECK(!regression) << "logistic regression needs class labels";
+      LogisticConfig lc;
+      lc.seed = seed;
+      return std::make_unique<LogisticRegression>(lc);
+    }
+    case ModelKind::kLinearSvm: {
+      FASTFT_CHECK(!regression) << "SVM classifier needs class labels";
+      SvmConfig sc;
+      sc.seed = seed;
+      return std::make_unique<LinearSvm>(sc);
+    }
+    case ModelKind::kRidge:
+      return std::make_unique<Ridge>(!regression);
+    case ModelKind::kKnn: {
+      KnnConfig kc;
+      kc.regression = regression;
+      return std::make_unique<Knn>(kc);
+    }
+    case ModelKind::kIsolationForest: {
+      FASTFT_CHECK(task == TaskType::kDetection)
+          << "isolation forest scores anomalies only";
+      IsolationForestConfig ic;
+      ic.seed = seed;
+      return std::make_unique<IsolationForest>(ic);
+    }
+  }
+  FASTFT_CHECK(false) << "unreachable";
+  return nullptr;
+}
+
+double Evaluator::Evaluate(const Dataset& dataset) const {
+  return Evaluate(dataset, DefaultMetric(dataset.task));
+}
+
+double Evaluator::Evaluate(const Dataset& dataset, Metric metric) const {
+  FASTFT_CHECK(dataset.Validate().ok()) << dataset.Validate().ToString();
+  ++evaluation_count_;
+  std::vector<TrainTestIndices> folds =
+      KFoldSplit(dataset, config_.folds, config_.seed);
+  double total = 0.0;
+  int used = 0;
+  for (size_t k = 0; k < folds.size(); ++k) {
+    TrainTestData data = MaterializeSplit(dataset, folds[k]);
+    if (data.train.NumRows() < 2 || data.test.NumRows() < 1) continue;
+    std::unique_ptr<Model> model =
+        MakeModel(config_.model, dataset.task,
+                  DeriveSeed(config_.seed, k + 1), config_.forest_trees,
+                  config_.forest_depth);
+    Rows train_rows = data.train.features.ToRows();
+    model->Fit(train_rows, data.train.labels);
+    Rows test_rows = data.test.features.ToRows();
+    std::vector<double> pred = metric == Metric::kAuc
+                                   ? model->PredictScore(test_rows)
+                                   : model->Predict(test_rows);
+    total += ComputeMetric(metric, data.test.labels, pred);
+    ++used;
+  }
+  return used > 0 ? total / used : 0.0;
+}
+
+std::vector<double> Evaluator::FeatureImportance(
+    const Dataset& dataset) const {
+  ForestConfig fc;
+  fc.regression = dataset.task == TaskType::kRegression;
+  fc.num_trees = std::max(config_.forest_trees, 10);
+  fc.max_depth = config_.forest_depth;
+  fc.seed = config_.seed;
+  RandomForest forest(fc);
+  forest.Fit(dataset.features.ToRows(), dataset.labels);
+  return forest.FeatureImportance();
+}
+
+}  // namespace fastft

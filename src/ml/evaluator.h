@@ -1,0 +1,73 @@
+// Downstream task evaluation: k-fold cross-validated metric of a dataset.
+//
+// This is the expensive feedback signal the paper calls A(T(F), y) — the
+// runtime bottleneck FastFT's Performance Predictor replaces. The evaluator
+// also exposes a feature-importance fit (Table IV) and a call counter used
+// by the runtime experiments.
+
+#ifndef FASTFT_ML_EVALUATOR_H_
+#define FASTFT_ML_EVALUATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "ml/metrics.h"
+#include "ml/model.h"
+
+namespace fastft {
+
+/// Downstream model families (Table III).
+enum class ModelKind {
+  kRandomForest,
+  kDecisionTree,
+  kGradientBoosting,
+  kLogisticRegression,
+  kLinearSvm,
+  kRidge,
+  kKnn,
+  /// Unsupervised anomaly scorer; detection tasks only (AUC metric).
+  kIsolationForest,
+};
+
+const char* ModelKindName(ModelKind kind);
+
+/// Builds a model of `kind` appropriate for `task`.
+std::unique_ptr<Model> MakeModel(ModelKind kind, TaskType task, uint64_t seed,
+                                 int forest_trees = 10, int forest_depth = 6);
+
+struct EvaluatorConfig {
+  ModelKind model = ModelKind::kRandomForest;
+  int folds = 3;
+  int forest_trees = 8;
+  int forest_depth = 6;
+  uint64_t seed = 100;
+};
+
+class Evaluator {
+ public:
+  explicit Evaluator(EvaluatorConfig config = {}) : config_(config) {}
+
+  /// Cross-validated score with the task's default metric (F1 / 1-RAE / AUC).
+  double Evaluate(const Dataset& dataset) const;
+
+  /// Cross-validated score with an explicit metric.
+  double Evaluate(const Dataset& dataset, Metric metric) const;
+
+  /// Impurity feature importances from a random forest fit on all rows.
+  std::vector<double> FeatureImportance(const Dataset& dataset) const;
+
+  /// Number of Evaluate calls since construction (each is a full k-fold fit).
+  int64_t evaluation_count() const { return evaluation_count_; }
+
+  const EvaluatorConfig& config() const { return config_; }
+
+ private:
+  EvaluatorConfig config_;
+  mutable int64_t evaluation_count_ = 0;
+};
+
+}  // namespace fastft
+
+#endif  // FASTFT_ML_EVALUATOR_H_

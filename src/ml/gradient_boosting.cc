@@ -1,0 +1,144 @@
+#include "ml/gradient_boosting.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace fastft {
+namespace {
+
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+}  // namespace
+
+void GradientBoosting::Fit(const Rows& x, const std::vector<double>& y) {
+  FASTFT_CHECK(!x.empty());
+  FASTFT_CHECK_EQ(x.size(), y.size());
+  const int n = static_cast<int>(x.size());
+  chains_.clear();
+  base_score_.clear();
+
+  int num_outputs = 1;
+  if (config_.regression) {
+    num_classes_ = 0;
+  } else {
+    int max_label = 0;
+    for (double v : y) max_label = std::max(max_label, static_cast<int>(v));
+    num_classes_ = max_label + 1;
+    num_outputs = num_classes_ <= 2 ? 1 : num_classes_;
+  }
+  chains_.resize(num_outputs);
+  base_score_.resize(num_outputs, 0.0);
+
+  Rng rng(config_.seed);
+  for (int k = 0; k < num_outputs; ++k) {
+    // Binary target for this chain (one-vs-rest); regression keeps y.
+    std::vector<double> target(n);
+    if (config_.regression) {
+      target = y;
+      base_score_[k] = 0.0;
+      for (double v : y) base_score_[k] += v;
+      base_score_[k] /= n;
+    } else {
+      double pos = 0;
+      for (int i = 0; i < n; ++i) {
+        bool hit = num_outputs == 1 ? y[i] > 0.5
+                                    : static_cast<int>(y[i]) == k;
+        target[i] = hit ? 1.0 : 0.0;
+        pos += target[i];
+      }
+      double p = std::clamp(pos / n, 1e-4, 1.0 - 1e-4);
+      base_score_[k] = std::log(p / (1.0 - p));
+    }
+
+    std::vector<double> raw(n, base_score_[k]);
+    for (int round = 0; round < config_.num_rounds; ++round) {
+      // Negative gradient (residual).
+      std::vector<double> residual(n);
+      for (int i = 0; i < n; ++i) {
+        residual[i] = config_.regression ? target[i] - raw[i]
+                                         : target[i] - Sigmoid(raw[i]);
+      }
+      // Subsample rows.
+      Rows sx;
+      std::vector<double> sr;
+      std::vector<int> used;
+      for (int i = 0; i < n; ++i) {
+        if (rng.Uniform() < config_.subsample) used.push_back(i);
+      }
+      if (used.size() < 2) {
+        used.resize(n);
+        for (int i = 0; i < n; ++i) used[i] = i;
+      }
+      sx.reserve(used.size());
+      sr.reserve(used.size());
+      for (int i : used) {
+        sx.push_back(x[i]);
+        sr.push_back(residual[i]);
+      }
+      TreeConfig tc;
+      tc.regression = true;
+      tc.max_depth = config_.max_depth;
+      tc.min_samples_leaf = 3;
+      tc.seed = DeriveSeed(config_.seed,
+                           static_cast<uint64_t>(k * 1000 + round + 1));
+      DecisionTree tree(tc);
+      tree.Fit(sx, sr);
+      for (int i = 0; i < n; ++i) {
+        raw[i] += config_.learning_rate * tree.PredictOne(x[i]);
+      }
+      chains_[k].push_back(std::move(tree));
+    }
+  }
+}
+
+double GradientBoosting::RawScore(int k, const std::vector<double>& row) const {
+  double score = base_score_[k];
+  for (const DecisionTree& tree : chains_[k]) {
+    score += config_.learning_rate * tree.PredictOne(row);
+  }
+  return score;
+}
+
+std::vector<double> GradientBoosting::Predict(const Rows& x) const {
+  std::vector<double> out;
+  out.reserve(x.size());
+  for (const auto& row : x) {
+    if (config_.regression) {
+      out.push_back(RawScore(0, row));
+    } else if (chains_.size() == 1) {
+      out.push_back(Sigmoid(RawScore(0, row)) >= 0.5 ? 1.0 : 0.0);
+    } else {
+      int best = 0;
+      double best_score = -1e300;
+      for (size_t k = 0; k < chains_.size(); ++k) {
+        double s = RawScore(static_cast<int>(k), row);
+        if (s > best_score) {
+          best_score = s;
+          best = static_cast<int>(k);
+        }
+      }
+      out.push_back(static_cast<double>(best));
+    }
+  }
+  return out;
+}
+
+std::vector<double> GradientBoosting::PredictScore(const Rows& x) const {
+  if (config_.regression) return Predict(x);
+  std::vector<double> out;
+  out.reserve(x.size());
+  for (const auto& row : x) {
+    if (chains_.size() == 1) {
+      out.push_back(Sigmoid(RawScore(0, row)));
+    } else {
+      out.push_back(Sigmoid(RawScore(1 % static_cast<int>(chains_.size()),
+                                     row)));
+    }
+  }
+  return out;
+}
+
+}  // namespace fastft

@@ -1,0 +1,46 @@
+// Gradient-boosted decision trees (XGBoost-style role in the robustness
+// study, Table III): squared loss for regression, logistic loss for binary
+// classification, one-vs-rest for multiclass.
+
+#ifndef FASTFT_ML_GRADIENT_BOOSTING_H_
+#define FASTFT_ML_GRADIENT_BOOSTING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/decision_tree.h"
+#include "ml/model.h"
+
+namespace fastft {
+
+struct BoostingConfig {
+  bool regression = false;
+  int num_rounds = 20;
+  int max_depth = 3;
+  double learning_rate = 0.2;
+  double subsample = 0.9;
+  uint64_t seed = 29;
+};
+
+class GradientBoosting : public Model {
+ public:
+  explicit GradientBoosting(BoostingConfig config = {}) : config_(config) {}
+
+  void Fit(const Rows& x, const std::vector<double>& y) override;
+  std::vector<double> Predict(const Rows& x) const override;
+  std::vector<double> PredictScore(const Rows& x) const override;
+
+ private:
+  /// Raw additive score of ensemble `k` for one row.
+  double RawScore(int k, const std::vector<double>& row) const;
+
+  BoostingConfig config_;
+  int num_classes_ = 0;
+  /// One tree chain per output (1 for regression/binary, k for multiclass).
+  std::vector<std::vector<DecisionTree>> chains_;
+  std::vector<double> base_score_;
+};
+
+}  // namespace fastft
+
+#endif  // FASTFT_ML_GRADIENT_BOOSTING_H_

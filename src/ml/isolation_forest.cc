@@ -1,0 +1,119 @@
+#include "ml/isolation_forest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace fastft {
+namespace {
+
+constexpr double kEulerMascheroni = 0.5772156649015329;
+
+}  // namespace
+
+double IsolationNormalizer(int n) {
+  if (n <= 1) return 0.0;
+  double h = std::log(static_cast<double>(n - 1)) + kEulerMascheroni;
+  return 2.0 * h - 2.0 * static_cast<double>(n - 1) / n;
+}
+
+void IsolationForest::Fit(const Rows& x, const std::vector<double>& y) {
+  (void)y;  // unsupervised
+  FASTFT_CHECK(!x.empty());
+  const int n = static_cast<int>(x.size());
+  const int psi = std::min(config_.subsample, n);
+  const int height_limit =
+      static_cast<int>(std::ceil(std::log2(std::max(2, psi))));
+  normalizer_ = IsolationNormalizer(psi);
+
+  Rng rng(config_.seed);
+  trees_.assign(config_.num_trees, Tree{});
+  for (Tree& tree : trees_) {
+    std::vector<int> rows = rng.SampleWithoutReplacement(n, psi);
+    Grow(&tree, x, rows, 0, height_limit, &rng);
+  }
+}
+
+int IsolationForest::Grow(Tree* tree, const Rows& x, std::vector<int>& rows,
+                          int depth, int height_limit, Rng* rng) {
+  const int index = static_cast<int>(tree->nodes.size());
+  tree->nodes.emplace_back();
+  tree->nodes[index].size = static_cast<int>(rows.size());
+  if (depth >= height_limit || rows.size() <= 1) return index;
+
+  // Pick a split attribute whose values actually vary among these rows.
+  const int dims = static_cast<int>(x[0].size());
+  int feature = -1;
+  double lo = 0, hi = 0;
+  for (int attempt = 0; attempt < dims; ++attempt) {
+    int f = rng->UniformInt(dims);
+    lo = hi = x[rows[0]][f];
+    for (int r : rows) {
+      lo = std::min(lo, x[r][f]);
+      hi = std::max(hi, x[r][f]);
+    }
+    if (hi > lo) {
+      feature = f;
+      break;
+    }
+  }
+  if (feature < 0) return index;  // all candidate attributes constant
+
+  double threshold = rng->Uniform(lo, hi);
+  std::vector<int> left_rows, right_rows;
+  for (int r : rows) {
+    (x[r][feature] < threshold ? left_rows : right_rows).push_back(r);
+  }
+  if (left_rows.empty() || right_rows.empty()) return index;
+  rows.clear();
+  rows.shrink_to_fit();
+
+  int left = Grow(tree, x, left_rows, depth + 1, height_limit, rng);
+  int right = Grow(tree, x, right_rows, depth + 1, height_limit, rng);
+  tree->nodes[index].feature = feature;
+  tree->nodes[index].threshold = threshold;
+  tree->nodes[index].left = left;
+  tree->nodes[index].right = right;
+  return index;
+}
+
+double IsolationForest::PathLength(const Tree& tree,
+                                   const std::vector<double>& row) const {
+  int index = 0;
+  double depth = 0.0;
+  while (tree.nodes[index].feature >= 0) {
+    const Node& node = tree.nodes[index];
+    index = row[node.feature] < node.threshold ? node.left : node.right;
+    depth += 1.0;
+  }
+  // External node: add the expected remaining depth of its subsample.
+  return depth + IsolationNormalizer(tree.nodes[index].size);
+}
+
+double IsolationForest::AveragePathLength(
+    const std::vector<double>& row) const {
+  FASTFT_CHECK(!trees_.empty()) << "Fit() before scoring";
+  double total = 0.0;
+  for (const Tree& tree : trees_) total += PathLength(tree, row);
+  return total / static_cast<double>(trees_.size());
+}
+
+std::vector<double> IsolationForest::PredictScore(const Rows& x) const {
+  std::vector<double> out;
+  out.reserve(x.size());
+  for (const auto& row : x) {
+    double mean_path = AveragePathLength(row);
+    out.push_back(std::pow(2.0, -mean_path / std::max(normalizer_, 1e-9)));
+  }
+  return out;
+}
+
+std::vector<double> IsolationForest::Predict(const Rows& x) const {
+  std::vector<double> out = PredictScore(x);
+  for (double& v : out) v = v >= 0.5 ? 1.0 : 0.0;
+  return out;
+}
+
+}  // namespace fastft

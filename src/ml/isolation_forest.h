@@ -1,0 +1,71 @@
+// Isolation Forest (Liu et al. 2008) — unsupervised anomaly scoring.
+//
+// The detection rows of Table I are evaluated with a supervised AUC by
+// default (matching the paper's protocol); this unsupervised detector is
+// the natural alternative evaluator for detection tasks and is exposed as
+// ModelKind::kIsolationForest. Scores follow the standard anomaly score
+// s(x) = 2^(−E[h(x)] / c(n)) ∈ (0, 1), higher = more anomalous.
+
+#ifndef FASTFT_ML_ISOLATION_FOREST_H_
+#define FASTFT_ML_ISOLATION_FOREST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/model.h"
+
+namespace fastft {
+
+struct IsolationForestConfig {
+  int num_trees = 50;
+  /// Sub-sample size per tree (the paper's ψ; 256 is the canonical value,
+  /// clamped to the dataset size).
+  int subsample = 256;
+  uint64_t seed = 97;
+};
+
+class IsolationForest : public Model {
+ public:
+  explicit IsolationForest(IsolationForestConfig config = {})
+      : config_(config) {}
+
+  /// Unsupervised: `y` is accepted for Model-interface compatibility and
+  /// ignored.
+  void Fit(const Rows& x, const std::vector<double>& y) override;
+
+  /// Hard labels via the 0.5 anomaly-score threshold.
+  std::vector<double> Predict(const Rows& x) const override;
+
+  /// Anomaly scores in (0, 1); higher = more isolated.
+  std::vector<double> PredictScore(const Rows& x) const override;
+
+  /// Average path length of one sample over all trees.
+  double AveragePathLength(const std::vector<double>& row) const;
+
+ private:
+  struct Node {
+    int feature = -1;       // -1 → external node
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    int size = 0;  // samples that ended here (external nodes)
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+  };
+
+  int Grow(Tree* tree, const Rows& x, std::vector<int>& rows, int depth,
+           int height_limit, class Rng* rng);
+  double PathLength(const Tree& tree, const std::vector<double>& row) const;
+
+  IsolationForestConfig config_;
+  std::vector<Tree> trees_;
+  double normalizer_ = 1.0;  // c(ψ)
+};
+
+/// Average unsuccessful-search path length c(n) of a BST with n nodes.
+double IsolationNormalizer(int n);
+
+}  // namespace fastft
+
+#endif  // FASTFT_ML_ISOLATION_FOREST_H_

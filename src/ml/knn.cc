@@ -1,0 +1,80 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace fastft {
+
+void Knn::Fit(const Rows& x, const std::vector<double>& y) {
+  FASTFT_CHECK(!x.empty());
+  FASTFT_CHECK_EQ(x.size(), y.size());
+  standardizer_.Fit(x);
+  train_ = standardizer_.ApplyAll(x);
+  labels_ = y;
+  if (config_.regression) {
+    num_classes_ = 0;
+  } else {
+    int max_label = 0;
+    for (double v : y) max_label = std::max(max_label, static_cast<int>(v));
+    num_classes_ = max_label + 1;
+  }
+}
+
+std::vector<int> Knn::Neighbours(const std::vector<double>& row) const {
+  const int n = static_cast<int>(train_.size());
+  const int k = std::min(config_.k, n);
+  std::vector<double> dist(n);
+  for (int i = 0; i < n; ++i) {
+    double d = 0.0;
+    for (size_t j = 0; j < row.size(); ++j) {
+      double diff = train_[i][j] - row[j];
+      d += diff * diff;
+    }
+    dist[i] = d;
+  }
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&](int a, int b) { return dist[a] < dist[b]; });
+  order.resize(k);
+  return order;
+}
+
+std::vector<double> Knn::Predict(const Rows& x) const {
+  FASTFT_CHECK(!train_.empty()) << "Fit() before Predict()";
+  std::vector<double> out;
+  out.reserve(x.size());
+  for (const auto& raw : x) {
+    std::vector<int> nn = Neighbours(standardizer_.Apply(raw));
+    if (config_.regression) {
+      double sum = 0.0;
+      for (int i : nn) sum += labels_[i];
+      out.push_back(sum / static_cast<double>(nn.size()));
+    } else {
+      std::vector<int> votes(num_classes_, 0);
+      for (int i : nn) ++votes[static_cast<int>(labels_[i])];
+      out.push_back(static_cast<double>(
+          std::max_element(votes.begin(), votes.end()) - votes.begin()));
+    }
+  }
+  return out;
+}
+
+std::vector<double> Knn::PredictScore(const Rows& x) const {
+  if (config_.regression) return Predict(x);
+  std::vector<double> out;
+  out.reserve(x.size());
+  for (const auto& raw : x) {
+    std::vector<int> nn = Neighbours(standardizer_.Apply(raw));
+    int positive = 0;
+    for (int i : nn) positive += (labels_[i] > 0.5);
+    out.push_back(static_cast<double>(positive) /
+                  static_cast<double>(nn.size()));
+  }
+  return out;
+}
+
+}  // namespace fastft

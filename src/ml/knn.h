@@ -1,0 +1,44 @@
+// k-nearest-neighbours classifier / regressor.
+//
+// A further downstream model family for robustness studies: distance-based,
+// so it benefits strongly from informative generated features and is very
+// sensitive to uninformative ones — a useful contrast to tree ensembles.
+// Features are standardized with training statistics internally.
+
+#ifndef FASTFT_ML_KNN_H_
+#define FASTFT_ML_KNN_H_
+
+#include <vector>
+
+#include "ml/linear_models.h"  // Standardizer
+#include "ml/model.h"
+
+namespace fastft {
+
+struct KnnConfig {
+  bool regression = false;
+  int k = 7;
+};
+
+class Knn : public Model {
+ public:
+  explicit Knn(KnnConfig config = {}) : config_(config) {}
+
+  void Fit(const Rows& x, const std::vector<double>& y) override;
+  std::vector<double> Predict(const Rows& x) const override;
+  std::vector<double> PredictScore(const Rows& x) const override;
+
+ private:
+  /// Indices of the k nearest training rows to `row` (standardized space).
+  std::vector<int> Neighbours(const std::vector<double>& row) const;
+
+  KnnConfig config_;
+  Standardizer standardizer_;
+  Rows train_;
+  std::vector<double> labels_;
+  int num_classes_ = 0;
+};
+
+}  // namespace fastft
+
+#endif  // FASTFT_ML_KNN_H_

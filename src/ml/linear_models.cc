@@ -1,0 +1,340 @@
+#include "ml/linear_models.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace fastft {
+
+void Standardizer::Fit(const Rows& x) {
+  FASTFT_CHECK(!x.empty());
+  const size_t dim = x[0].size();
+  mean.assign(dim, 0.0);
+  scale.assign(dim, 1.0);
+  for (const auto& row : x) {
+    for (size_t j = 0; j < dim; ++j) mean[j] += row[j];
+  }
+  for (size_t j = 0; j < dim; ++j) mean[j] /= static_cast<double>(x.size());
+  std::vector<double> var(dim, 0.0);
+  for (const auto& row : x) {
+    for (size_t j = 0; j < dim; ++j) {
+      var[j] += (row[j] - mean[j]) * (row[j] - mean[j]);
+    }
+  }
+  for (size_t j = 0; j < dim; ++j) {
+    double s = std::sqrt(var[j] / static_cast<double>(x.size()));
+    scale[j] = s > 1e-12 ? s : 1.0;
+  }
+}
+
+std::vector<double> Standardizer::Apply(const std::vector<double>& row) const {
+  std::vector<double> out(row.size());
+  for (size_t j = 0; j < row.size(); ++j) {
+    out[j] = (row[j] - mean[j]) / scale[j];
+  }
+  return out;
+}
+
+Rows Standardizer::ApplyAll(const Rows& x) const {
+  Rows out;
+  out.reserve(x.size());
+  for (const auto& row : x) out.push_back(Apply(row));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Logistic regression.
+
+void LogisticRegression::Fit(const Rows& x, const std::vector<double>& y) {
+  FASTFT_CHECK(!x.empty());
+  FASTFT_CHECK_EQ(x.size(), y.size());
+  standardizer_.Fit(x);
+  Rows xs = standardizer_.ApplyAll(x);
+  const int n = static_cast<int>(xs.size());
+  const int dim = static_cast<int>(xs[0].size());
+  int max_label = 0;
+  for (double v : y) max_label = std::max(max_label, static_cast<int>(v));
+  num_classes_ = max_label + 1;
+  weights_.assign(num_classes_, std::vector<double>(dim + 1, 0.0));
+
+  Rng rng(config_.seed);
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    double lr = config_.learning_rate / (1.0 + 0.05 * epoch);
+    for (int i : order) {
+      // Softmax probabilities.
+      std::vector<double> logits(num_classes_);
+      double max_logit = -1e300;
+      for (int c = 0; c < num_classes_; ++c) {
+        double z = weights_[c][dim];
+        for (int j = 0; j < dim; ++j) z += weights_[c][j] * xs[i][j];
+        logits[c] = z;
+        max_logit = std::max(max_logit, z);
+      }
+      double denom = 0.0;
+      for (int c = 0; c < num_classes_; ++c) {
+        logits[c] = std::exp(logits[c] - max_logit);
+        denom += logits[c];
+      }
+      int label = static_cast<int>(y[i]);
+      for (int c = 0; c < num_classes_; ++c) {
+        double grad = logits[c] / denom - (c == label ? 1.0 : 0.0);
+        for (int j = 0; j < dim; ++j) {
+          weights_[c][j] -=
+              lr * (grad * xs[i][j] + config_.l2 * weights_[c][j]);
+        }
+        weights_[c][dim] -= lr * grad;
+      }
+    }
+  }
+}
+
+std::vector<double> LogisticRegression::Logits(
+    const std::vector<double>& row) const {
+  std::vector<double> z(num_classes_);
+  const int dim = static_cast<int>(row.size());
+  for (int c = 0; c < num_classes_; ++c) {
+    double s = weights_[c][dim];
+    for (int j = 0; j < dim; ++j) s += weights_[c][j] * row[j];
+    z[c] = s;
+  }
+  return z;
+}
+
+std::vector<double> LogisticRegression::Predict(const Rows& x) const {
+  std::vector<double> out;
+  out.reserve(x.size());
+  for (const auto& row : x) {
+    std::vector<double> z = Logits(standardizer_.Apply(row));
+    out.push_back(static_cast<double>(
+        std::max_element(z.begin(), z.end()) - z.begin()));
+  }
+  return out;
+}
+
+std::vector<double> LogisticRegression::PredictScore(const Rows& x) const {
+  std::vector<double> out;
+  out.reserve(x.size());
+  for (const auto& row : x) {
+    std::vector<double> z = Logits(standardizer_.Apply(row));
+    if (num_classes_ >= 2) {
+      out.push_back(1.0 / (1.0 + std::exp(-(z[1] - z[0]))));
+    } else {
+      out.push_back(0.0);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Ridge.
+
+std::vector<double> SolveRidgeSystem(std::vector<std::vector<double>> a,
+                                     std::vector<double> b, double l2) {
+  const int dim = static_cast<int>(b.size());
+  for (int i = 0; i < dim; ++i) a[i][i] += l2;
+  // Cholesky A = L L^T.
+  for (int i = 0; i < dim; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      double sum = a[i][j];
+      for (int k = 0; k < j; ++k) sum -= a[i][k] * a[j][k];
+      if (i == j) {
+        a[i][i] = std::sqrt(std::max(sum, 1e-12));
+      } else {
+        a[i][j] = sum / a[j][j];
+      }
+    }
+  }
+  // Forward substitution L z = b.
+  std::vector<double> z(dim);
+  for (int i = 0; i < dim; ++i) {
+    double sum = b[i];
+    for (int k = 0; k < i; ++k) sum -= a[i][k] * z[k];
+    z[i] = sum / a[i][i];
+  }
+  // Back substitution L^T w = z.
+  std::vector<double> w(dim);
+  for (int i = dim - 1; i >= 0; --i) {
+    double sum = z[i];
+    for (int k = i + 1; k < dim; ++k) sum -= a[k][i] * w[k];
+    w[i] = sum / a[i][i];
+  }
+  return w;
+}
+
+void Ridge::Fit(const Rows& x, const std::vector<double>& y) {
+  FASTFT_CHECK(!x.empty());
+  FASTFT_CHECK_EQ(x.size(), y.size());
+  standardizer_.Fit(x);
+  Rows xs = standardizer_.ApplyAll(x);
+  const int n = static_cast<int>(xs.size());
+  const int dim = static_cast<int>(xs[0].size());
+  // Augment with a bias column.
+  for (auto& row : xs) row.push_back(1.0);
+  const int adim = dim + 1;
+
+  int num_outputs = 1;
+  if (classification_) {
+    int max_label = 0;
+    for (double v : y) max_label = std::max(max_label, static_cast<int>(v));
+    num_classes_ = max_label + 1;
+    num_outputs = num_classes_;
+  }
+
+  // Gram matrix X^T X (shared across outputs).
+  std::vector<std::vector<double>> gram(adim, std::vector<double>(adim, 0.0));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < adim; ++j) {
+      for (int k = j; k < adim; ++k) gram[j][k] += xs[i][j] * xs[i][k];
+    }
+  }
+  for (int j = 0; j < adim; ++j) {
+    for (int k = 0; k < j; ++k) gram[j][k] = gram[k][j];
+  }
+
+  weights_.clear();
+  for (int out = 0; out < num_outputs; ++out) {
+    std::vector<double> b(adim, 0.0);
+    for (int i = 0; i < n; ++i) {
+      double target = classification_
+                          ? (static_cast<int>(y[i]) == out ? 1.0 : 0.0)
+                          : y[i];
+      for (int j = 0; j < adim; ++j) b[j] += xs[i][j] * target;
+    }
+    weights_.push_back(SolveRidgeSystem(gram, std::move(b), config_.l2));
+  }
+}
+
+std::vector<double> Ridge::Predict(const Rows& x) const {
+  std::vector<double> out;
+  out.reserve(x.size());
+  for (const auto& raw : x) {
+    std::vector<double> row = standardizer_.Apply(raw);
+    row.push_back(1.0);
+    if (!classification_) {
+      double s = 0.0;
+      for (size_t j = 0; j < row.size(); ++j) s += weights_[0][j] * row[j];
+      out.push_back(s);
+    } else {
+      int best = 0;
+      double best_score = -1e300;
+      for (size_t c = 0; c < weights_.size(); ++c) {
+        double s = 0.0;
+        for (size_t j = 0; j < row.size(); ++j) s += weights_[c][j] * row[j];
+        if (s > best_score) {
+          best_score = s;
+          best = static_cast<int>(c);
+        }
+      }
+      out.push_back(static_cast<double>(best));
+    }
+  }
+  return out;
+}
+
+std::vector<double> Ridge::PredictScore(const Rows& x) const {
+  if (!classification_ || num_classes_ < 2) return Predict(x);
+  std::vector<double> out;
+  out.reserve(x.size());
+  for (const auto& raw : x) {
+    std::vector<double> row = standardizer_.Apply(raw);
+    row.push_back(1.0);
+    double s = 0.0;
+    for (size_t j = 0; j < row.size(); ++j) s += weights_[1][j] * row[j];
+    out.push_back(s);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Linear SVM.
+
+void LinearSvm::Fit(const Rows& x, const std::vector<double>& y) {
+  FASTFT_CHECK(!x.empty());
+  FASTFT_CHECK_EQ(x.size(), y.size());
+  standardizer_.Fit(x);
+  Rows xs = standardizer_.ApplyAll(x);
+  const int n = static_cast<int>(xs.size());
+  const int dim = static_cast<int>(xs[0].size());
+  int max_label = 0;
+  for (double v : y) max_label = std::max(max_label, static_cast<int>(v));
+  num_classes_ = max_label + 1;
+  const int num_outputs = num_classes_ <= 2 ? 1 : num_classes_;
+  weights_.assign(num_outputs, std::vector<double>(dim + 1, 0.0));
+
+  Rng rng(config_.seed);
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    double lr = config_.learning_rate / (1.0 + 0.05 * epoch);
+    for (int i : order) {
+      for (int k = 0; k < num_outputs; ++k) {
+        bool positive = num_outputs == 1 ? y[i] > 0.5
+                                         : static_cast<int>(y[i]) == k;
+        double target = positive ? 1.0 : -1.0;
+        double margin = weights_[k][dim];
+        for (int j = 0; j < dim; ++j) margin += weights_[k][j] * xs[i][j];
+        if (target * margin < 1.0) {
+          for (int j = 0; j < dim; ++j) {
+            weights_[k][j] +=
+                lr * (target * xs[i][j] - config_.l2 * weights_[k][j]);
+          }
+          weights_[k][dim] += lr * target;
+        } else {
+          for (int j = 0; j < dim; ++j) {
+            weights_[k][j] -= lr * config_.l2 * weights_[k][j];
+          }
+        }
+      }
+    }
+  }
+}
+
+double LinearSvm::Margin(int k, const std::vector<double>& row) const {
+  const int dim = static_cast<int>(row.size());
+  double s = weights_[k][dim];
+  for (int j = 0; j < dim; ++j) s += weights_[k][j] * row[j];
+  return s;
+}
+
+std::vector<double> LinearSvm::Predict(const Rows& x) const {
+  std::vector<double> out;
+  out.reserve(x.size());
+  for (const auto& raw : x) {
+    std::vector<double> row = standardizer_.Apply(raw);
+    if (weights_.size() == 1) {
+      out.push_back(Margin(0, row) >= 0.0 ? 1.0 : 0.0);
+    } else {
+      int best = 0;
+      double best_margin = -1e300;
+      for (size_t k = 0; k < weights_.size(); ++k) {
+        double m = Margin(static_cast<int>(k), row);
+        if (m > best_margin) {
+          best_margin = m;
+          best = static_cast<int>(k);
+        }
+      }
+      out.push_back(static_cast<double>(best));
+    }
+  }
+  return out;
+}
+
+std::vector<double> LinearSvm::PredictScore(const Rows& x) const {
+  std::vector<double> out;
+  out.reserve(x.size());
+  for (const auto& raw : x) {
+    std::vector<double> row = standardizer_.Apply(raw);
+    out.push_back(Margin(weights_.size() == 1 ? 0 : 1, row));
+  }
+  return out;
+}
+
+}  // namespace fastft

@@ -1,0 +1,105 @@
+// Linear downstream models for the robustness study (Table III):
+// softmax logistic regression, ridge regression / ridge classifier
+// (closed-form normal equations), and a hinge-loss linear SVM (SGD, OVR).
+//
+// All three standardize features with training statistics internally.
+
+#ifndef FASTFT_ML_LINEAR_MODELS_H_
+#define FASTFT_ML_LINEAR_MODELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/model.h"
+
+namespace fastft {
+
+/// Shared standardization state fitted on training data.
+struct Standardizer {
+  std::vector<double> mean;
+  std::vector<double> scale;
+
+  void Fit(const Rows& x);
+  std::vector<double> Apply(const std::vector<double>& row) const;
+  Rows ApplyAll(const Rows& x) const;
+};
+
+struct LogisticConfig {
+  int epochs = 60;
+  double learning_rate = 0.1;
+  double l2 = 1e-4;
+  uint64_t seed = 37;
+};
+
+/// Multinomial logistic regression trained with mini-batch SGD.
+class LogisticRegression : public Model {
+ public:
+  explicit LogisticRegression(LogisticConfig config = {}) : config_(config) {}
+  void Fit(const Rows& x, const std::vector<double>& y) override;
+  std::vector<double> Predict(const Rows& x) const override;
+  std::vector<double> PredictScore(const Rows& x) const override;
+
+ private:
+  std::vector<double> Logits(const std::vector<double>& row) const;
+
+  LogisticConfig config_;
+  int num_classes_ = 0;
+  Standardizer standardizer_;
+  /// weights_[c] has dim+1 entries (bias last).
+  std::vector<std::vector<double>> weights_;
+};
+
+struct RidgeConfig {
+  double l2 = 1.0;
+};
+
+/// Ridge regression via normal equations (Cholesky); as a classifier it
+/// regresses one-hot targets and predicts the argmax (scikit-learn style).
+class Ridge : public Model {
+ public:
+  explicit Ridge(bool classification, RidgeConfig config = {})
+      : classification_(classification), config_(config) {}
+  void Fit(const Rows& x, const std::vector<double>& y) override;
+  std::vector<double> Predict(const Rows& x) const override;
+  std::vector<double> PredictScore(const Rows& x) const override;
+
+ private:
+  bool classification_;
+  RidgeConfig config_;
+  int num_classes_ = 0;
+  Standardizer standardizer_;
+  std::vector<std::vector<double>> weights_;  // one weight vector per output
+};
+
+struct SvmConfig {
+  int epochs = 60;
+  double learning_rate = 0.05;
+  double l2 = 1e-3;
+  uint64_t seed = 41;
+};
+
+/// Linear SVM with hinge loss (SGD), one-vs-rest for multiclass.
+class LinearSvm : public Model {
+ public:
+  explicit LinearSvm(SvmConfig config = {}) : config_(config) {}
+  void Fit(const Rows& x, const std::vector<double>& y) override;
+  std::vector<double> Predict(const Rows& x) const override;
+  std::vector<double> PredictScore(const Rows& x) const override;
+
+ private:
+  double Margin(int k, const std::vector<double>& row) const;
+
+  SvmConfig config_;
+  int num_classes_ = 0;
+  Standardizer standardizer_;
+  std::vector<std::vector<double>> weights_;
+};
+
+/// Solves (A + l2*I) w = b for symmetric positive definite A (in-place
+/// Cholesky). Exposed for tests. A is row-major dim x dim.
+std::vector<double> SolveRidgeSystem(std::vector<std::vector<double>> a,
+                                     std::vector<double> b, double l2);
+
+}  // namespace fastft
+
+#endif  // FASTFT_ML_LINEAR_MODELS_H_

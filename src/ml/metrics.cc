@@ -1,0 +1,214 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace fastft {
+namespace {
+
+struct ClassCounts {
+  double tp = 0, fp = 0, fn = 0;
+};
+
+std::map<int, ClassCounts> CountPerClass(const std::vector<double>& truth,
+                                         const std::vector<double>& pred) {
+  FASTFT_CHECK_EQ(truth.size(), pred.size());
+  std::map<int, ClassCounts> counts;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    int t = static_cast<int>(truth[i]);
+    int p = static_cast<int>(pred[i]);
+    counts[t];  // ensure every true class exists
+    if (t == p) {
+      counts[t].tp += 1;
+    } else {
+      counts[t].fn += 1;
+      counts[p].fp += 1;
+    }
+  }
+  return counts;
+}
+
+}  // namespace
+
+Metric DefaultMetric(TaskType task) {
+  switch (task) {
+    case TaskType::kClassification:
+      return Metric::kF1Macro;
+    case TaskType::kRegression:
+      return Metric::kOneMinusRae;
+    case TaskType::kDetection:
+      return Metric::kAuc;
+  }
+  return Metric::kF1Macro;
+}
+
+const char* MetricName(Metric metric) {
+  switch (metric) {
+    case Metric::kF1Macro:
+      return "F1";
+    case Metric::kPrecisionMacro:
+      return "Precision";
+    case Metric::kRecallMacro:
+      return "Recall";
+    case Metric::kAccuracy:
+      return "Accuracy";
+    case Metric::kAuc:
+      return "AUC";
+    case Metric::kOneMinusRae:
+      return "1-RAE";
+    case Metric::kOneMinusMae:
+      return "1-MAE";
+    case Metric::kOneMinusMse:
+      return "1-MSE";
+  }
+  return "?";
+}
+
+double F1Macro(const std::vector<double>& truth,
+               const std::vector<double>& predicted) {
+  auto counts = CountPerClass(truth, predicted);
+  double sum = 0.0;
+  int n = 0;
+  for (const auto& [cls, c] : counts) {
+    double prec = c.tp + c.fp > 0 ? c.tp / (c.tp + c.fp) : 0.0;
+    double rec = c.tp + c.fn > 0 ? c.tp / (c.tp + c.fn) : 0.0;
+    double f1 = prec + rec > 0 ? 2.0 * prec * rec / (prec + rec) : 0.0;
+    sum += f1;
+    ++n;
+  }
+  return n > 0 ? sum / n : 0.0;
+}
+
+double PrecisionMacro(const std::vector<double>& truth,
+                      const std::vector<double>& predicted) {
+  auto counts = CountPerClass(truth, predicted);
+  double sum = 0.0;
+  int n = 0;
+  for (const auto& [cls, c] : counts) {
+    sum += c.tp + c.fp > 0 ? c.tp / (c.tp + c.fp) : 0.0;
+    ++n;
+  }
+  return n > 0 ? sum / n : 0.0;
+}
+
+double RecallMacro(const std::vector<double>& truth,
+                   const std::vector<double>& predicted) {
+  auto counts = CountPerClass(truth, predicted);
+  double sum = 0.0;
+  int n = 0;
+  for (const auto& [cls, c] : counts) {
+    sum += c.tp + c.fn > 0 ? c.tp / (c.tp + c.fn) : 0.0;
+    ++n;
+  }
+  return n > 0 ? sum / n : 0.0;
+}
+
+double Accuracy(const std::vector<double>& truth,
+                const std::vector<double>& predicted) {
+  FASTFT_CHECK_EQ(truth.size(), predicted.size());
+  if (truth.empty()) return 0.0;
+  int hits = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    hits += static_cast<int>(truth[i]) == static_cast<int>(predicted[i]);
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+double AucFromScores(const std::vector<double>& truth,
+                     const std::vector<double>& scores) {
+  FASTFT_CHECK_EQ(truth.size(), scores.size());
+  // Rank-sum (Mann-Whitney) formulation with midranks for ties.
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+  std::vector<double> ranks(scores.size());
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() && scores[order[j + 1]] == scores[order[i]]) {
+      ++j;
+    }
+    double midrank = 0.5 * (static_cast<double>(i) + static_cast<double>(j)) +
+                     1.0;  // ranks are 1-based
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = midrank;
+    i = j + 1;
+  }
+  double pos = 0, neg = 0, rank_sum_pos = 0;
+  for (size_t k = 0; k < truth.size(); ++k) {
+    if (truth[k] > 0.5) {
+      pos += 1;
+      rank_sum_pos += ranks[k];
+    } else {
+      neg += 1;
+    }
+  }
+  if (pos == 0 || neg == 0) return 0.5;
+  return (rank_sum_pos - pos * (pos + 1) / 2.0) / (pos * neg);
+}
+
+double OneMinusRae(const std::vector<double>& truth,
+                   const std::vector<double>& predicted) {
+  FASTFT_CHECK_EQ(truth.size(), predicted.size());
+  if (truth.empty()) return 0.0;
+  double mean_truth = Mean(truth);
+  double abs_err = 0.0, abs_dev = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    abs_err += std::abs(truth[i] - predicted[i]);
+    abs_dev += std::abs(truth[i] - mean_truth);
+  }
+  if (abs_dev <= 1e-300) return 0.0;
+  return std::clamp(1.0 - abs_err / abs_dev, 0.0, 1.0);
+}
+
+double OneMinusMae(const std::vector<double>& truth,
+                   const std::vector<double>& predicted) {
+  FASTFT_CHECK_EQ(truth.size(), predicted.size());
+  if (truth.empty()) return 0.0;
+  double err = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    err += std::abs(truth[i] - predicted[i]);
+  }
+  return std::clamp(1.0 - err / static_cast<double>(truth.size()), 0.0, 1.0);
+}
+
+double OneMinusMse(const std::vector<double>& truth,
+                   const std::vector<double>& predicted) {
+  FASTFT_CHECK_EQ(truth.size(), predicted.size());
+  if (truth.empty()) return 0.0;
+  double err = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    err += (truth[i] - predicted[i]) * (truth[i] - predicted[i]);
+  }
+  return std::clamp(1.0 - err / static_cast<double>(truth.size()), 0.0, 1.0);
+}
+
+double ComputeMetric(Metric metric, const std::vector<double>& truth,
+                     const std::vector<double>& scores) {
+  switch (metric) {
+    case Metric::kF1Macro:
+      return F1Macro(truth, scores);
+    case Metric::kPrecisionMacro:
+      return PrecisionMacro(truth, scores);
+    case Metric::kRecallMacro:
+      return RecallMacro(truth, scores);
+    case Metric::kAccuracy:
+      return Accuracy(truth, scores);
+    case Metric::kAuc:
+      return AucFromScores(truth, scores);
+    case Metric::kOneMinusRae:
+      return OneMinusRae(truth, scores);
+    case Metric::kOneMinusMae:
+      return OneMinusMae(truth, scores);
+    case Metric::kOneMinusMse:
+      return OneMinusMse(truth, scores);
+  }
+  return 0.0;
+}
+
+}  // namespace fastft

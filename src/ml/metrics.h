@@ -1,0 +1,63 @@
+// Evaluation metrics for the three task families.
+//
+// Classification: macro F1 / precision / recall, accuracy.
+// Regression: 1-RAE, 1-MAE, 1-MSE (paper convention: higher is better).
+// Detection: AUC (rank-based), plus F1/precision on the anomaly class.
+
+#ifndef FASTFT_ML_METRICS_H_
+#define FASTFT_ML_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace fastft {
+
+/// Metric identifiers used across the benchmark harness.
+enum class Metric {
+  kF1Macro,
+  kPrecisionMacro,
+  kRecallMacro,
+  kAccuracy,
+  kAuc,
+  kOneMinusRae,
+  kOneMinusMae,
+  kOneMinusMse,
+};
+
+/// The paper's headline metric per task: F1 (C), 1-RAE (R), AUC (D).
+Metric DefaultMetric(TaskType task);
+
+const char* MetricName(Metric metric);
+
+/// Macro-averaged F1 over the classes present in `truth`.
+double F1Macro(const std::vector<double>& truth,
+               const std::vector<double>& predicted);
+double PrecisionMacro(const std::vector<double>& truth,
+                      const std::vector<double>& predicted);
+double RecallMacro(const std::vector<double>& truth,
+                   const std::vector<double>& predicted);
+double Accuracy(const std::vector<double>& truth,
+                const std::vector<double>& predicted);
+
+/// Binary AUC from positive-class scores (ties handled by midrank).
+double AucFromScores(const std::vector<double>& truth,
+                     const std::vector<double>& scores);
+
+/// 1 - relative absolute error; clipped to [0, 1].
+double OneMinusRae(const std::vector<double>& truth,
+                   const std::vector<double>& predicted);
+double OneMinusMae(const std::vector<double>& truth,
+                   const std::vector<double>& predicted);
+double OneMinusMse(const std::vector<double>& truth,
+                   const std::vector<double>& predicted);
+
+/// Computes `metric` from labels and predictions. For kAuc, `scores` must be
+/// positive-class scores; for label metrics, `scores` are hard labels.
+double ComputeMetric(Metric metric, const std::vector<double>& truth,
+                     const std::vector<double>& scores);
+
+}  // namespace fastft
+
+#endif  // FASTFT_ML_METRICS_H_

@@ -1,0 +1,35 @@
+// Abstract interface for downstream task models.
+//
+// Models consume row-major feature matrices. Classification models infer the
+// class count from the training labels (0..k-1). PredictScore returns a
+// positive-class score for binary tasks (used by AUC); the default falls
+// back to hard predictions.
+
+#ifndef FASTFT_ML_MODEL_H_
+#define FASTFT_ML_MODEL_H_
+
+#include <vector>
+
+namespace fastft {
+
+using Rows = std::vector<std::vector<double>>;
+
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  /// Trains on row-major features `x` and targets `y`.
+  virtual void Fit(const Rows& x, const std::vector<double>& y) = 0;
+
+  /// Hard predictions: class ids for classifiers, values for regressors.
+  virtual std::vector<double> Predict(const Rows& x) const = 0;
+
+  /// Positive-class score for binary classifiers; defaults to Predict.
+  virtual std::vector<double> PredictScore(const Rows& x) const {
+    return Predict(x);
+  }
+};
+
+}  // namespace fastft
+
+#endif  // FASTFT_ML_MODEL_H_

@@ -1,0 +1,161 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace fastft {
+
+void RandomForest::Fit(const Rows& x, const std::vector<double>& y) {
+  FASTFT_CHECK(!x.empty());
+  FASTFT_CHECK_EQ(x.size(), y.size());
+  num_features_ = static_cast<int>(x[0].size());
+  if (config_.regression) {
+    num_classes_ = 0;
+  } else {
+    int max_label = 0;
+    for (double v : y) max_label = std::max(max_label, static_cast<int>(v));
+    num_classes_ = max_label + 1;
+  }
+
+  int per_split = config_.max_features;
+  if (per_split <= 0) {
+    per_split = std::max(
+        1, static_cast<int>(std::sqrt(static_cast<double>(num_features_))));
+  }
+
+  Rng rng(config_.seed);
+  const int n = static_cast<int>(x.size());
+  const int boot_n =
+      std::max(1, static_cast<int>(config_.bootstrap_fraction * n));
+
+  // Draw every bootstrap serially (identical draws for any thread count),
+  // then fit trees — in parallel when configured.
+  struct Bootstrap {
+    Rows bx;
+    std::vector<double> by;
+  };
+  std::vector<Bootstrap> bootstraps(config_.num_trees);
+  for (int t = 0; t < config_.num_trees; ++t) {
+    Bootstrap& boot = bootstraps[t];
+    boot.bx.reserve(boot_n);
+    boot.by.reserve(boot_n);
+    bool has_positive = false;
+    for (int i = 0; i < boot_n; ++i) {
+      int r = rng.UniformInt(n);
+      boot.bx.push_back(x[r]);
+      boot.by.push_back(y[r]);
+      has_positive |= (y[r] > 0.5);
+    }
+    // Keep bootstrap label diversity for classification: inject one sample
+    // of a missing class rather than fitting a degenerate tree.
+    if (!config_.regression && !has_positive) {
+      for (int r = 0; r < n; ++r) {
+        if (y[r] > 0.5) {
+          boot.bx.push_back(x[r]);
+          boot.by.push_back(y[r]);
+          break;
+        }
+      }
+    }
+  }
+
+  trees_.assign(config_.num_trees, DecisionTree());
+  auto fit_range = [&](int begin, int end) {
+    for (int t = begin; t < end; ++t) {
+      TreeConfig tc;
+      tc.regression = config_.regression;
+      tc.max_depth = config_.max_depth;
+      tc.min_samples_leaf = config_.min_samples_leaf;
+      tc.max_features = per_split;
+      tc.seed = DeriveSeed(config_.seed, static_cast<uint64_t>(t) + 1);
+      DecisionTree tree(tc);
+      tree.Fit(bootstraps[t].bx, bootstraps[t].by);
+      trees_[t] = std::move(tree);
+    }
+  };
+  const int threads = std::clamp(config_.num_threads, 1, config_.num_trees);
+  if (threads <= 1) {
+    fit_range(0, config_.num_trees);
+  } else {
+    std::vector<std::thread> workers;
+    int per_thread = (config_.num_trees + threads - 1) / threads;
+    for (int w = 0; w < threads; ++w) {
+      int begin = w * per_thread;
+      int end = std::min(config_.num_trees, begin + per_thread);
+      if (begin >= end) break;
+      workers.emplace_back(fit_range, begin, end);
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+  // Trees may have inferred fewer classes from a bootstrap; remember the max.
+  for (const DecisionTree& tree : trees_) {
+    num_classes_ = std::max(num_classes_, tree.num_classes());
+  }
+}
+
+std::vector<double> RandomForest::PredictProba(
+    const std::vector<double>& row) const {
+  FASTFT_CHECK(!config_.regression);
+  std::vector<double> probs(num_classes_, 0.0);
+  for (const DecisionTree& tree : trees_) {
+    std::vector<double> p = tree.PredictProba(row);
+    for (size_t c = 0; c < p.size(); ++c) probs[c] += p[c];
+  }
+  for (double& p : probs) p /= static_cast<double>(trees_.size());
+  return probs;
+}
+
+std::vector<double> RandomForest::Predict(const Rows& x) const {
+  std::vector<double> out;
+  out.reserve(x.size());
+  if (config_.regression) {
+    for (const auto& row : x) {
+      double sum = 0.0;
+      for (const DecisionTree& tree : trees_) {
+        sum += tree.PredictOne(row);
+      }
+      out.push_back(sum / static_cast<double>(trees_.size()));
+    }
+  } else {
+    for (const auto& row : x) {
+      std::vector<double> probs = PredictProba(row);
+      int best = 0;
+      for (int c = 1; c < num_classes_; ++c) {
+        if (probs[c] > probs[best]) best = c;
+      }
+      out.push_back(static_cast<double>(best));
+    }
+  }
+  return out;
+}
+
+std::vector<double> RandomForest::PredictScore(const Rows& x) const {
+  if (config_.regression) return Predict(x);
+  std::vector<double> out;
+  out.reserve(x.size());
+  for (const auto& row : x) {
+    std::vector<double> probs = PredictProba(row);
+    out.push_back(probs.size() >= 2 ? probs[1] : 0.0);
+  }
+  return out;
+}
+
+std::vector<double> RandomForest::FeatureImportance() const {
+  std::vector<double> importance(num_features_, 0.0);
+  for (const DecisionTree& tree : trees_) {
+    const std::vector<double>& ti = tree.FeatureImportance();
+    for (size_t f = 0; f < ti.size(); ++f) importance[f] += ti[f];
+  }
+  double total = 0.0;
+  for (double v : importance) total += v;
+  if (total > 0) {
+    for (double& v : importance) v /= total;
+  }
+  return importance;
+}
+
+}  // namespace fastft

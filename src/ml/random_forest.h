@@ -1,0 +1,57 @@
+// Random forest: bagged CART trees with per-split feature subsampling.
+//
+// The default downstream evaluator of the whole framework (the paper follows
+// the common configuration of prior FT work and evaluates with a random
+// forest). Probability averaging across trees gives the AUC scores.
+
+#ifndef FASTFT_ML_RANDOM_FOREST_H_
+#define FASTFT_ML_RANDOM_FOREST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/decision_tree.h"
+#include "ml/model.h"
+
+namespace fastft {
+
+struct ForestConfig {
+  bool regression = false;
+  int num_trees = 10;
+  int max_depth = 6;
+  int min_samples_leaf = 2;
+  /// <=0: sqrt(num_features) per split.
+  int max_features = 0;
+  double bootstrap_fraction = 1.0;
+  /// Trees fitted concurrently; 1 = serial. Results are identical for any
+  /// thread count (bootstrap draws are made serially, fitting fans out).
+  int num_threads = 1;
+  uint64_t seed = 17;
+};
+
+class RandomForest : public Model {
+ public:
+  explicit RandomForest(ForestConfig config = {}) : config_(config) {}
+
+  void Fit(const Rows& x, const std::vector<double>& y) override;
+  std::vector<double> Predict(const Rows& x) const override;
+  std::vector<double> PredictScore(const Rows& x) const override;
+
+  /// Mean per-class probabilities over trees for one sample.
+  std::vector<double> PredictProba(const std::vector<double>& row) const;
+
+  /// Mean normalized impurity importance over trees.
+  std::vector<double> FeatureImportance() const;
+
+  int num_classes() const { return num_classes_; }
+
+ private:
+  ForestConfig config_;
+  int num_classes_ = 0;
+  int num_features_ = 0;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace fastft
+
+#endif  // FASTFT_ML_RANDOM_FOREST_H_

@@ -1,0 +1,45 @@
+#include "nn/embedding.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "nn/init.h"
+
+namespace fastft {
+namespace nn {
+
+Embedding::Embedding(int vocab_size, int dim, Rng* rng)
+    : table_(Matrix::Randn(vocab_size, dim, 0.1, rng)) {}
+
+Matrix Embedding::Forward(const std::vector<int>& ids) {
+  FASTFT_CHECK(!ids.empty());
+  last_ids_.clear();
+  last_ids_.reserve(ids.size());
+  Matrix out(static_cast<int>(ids.size()), dim());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    int id = std::clamp(ids[i], 0, vocab_size() - 1);
+    last_ids_.push_back(id);
+    for (int c = 0; c < dim(); ++c) {
+      out(static_cast<int>(i), c) = table_.value(id, c);
+    }
+  }
+  return out;
+}
+
+void Embedding::Backward(const Matrix& dy) {
+  FASTFT_CHECK_EQ(dy.rows(), static_cast<int>(last_ids_.size()));
+  FASTFT_CHECK_EQ(dy.cols(), dim());
+  for (size_t i = 0; i < last_ids_.size(); ++i) {
+    int id = last_ids_[i];
+    for (int c = 0; c < dim(); ++c) {
+      table_.grad(id, c) += dy(static_cast<int>(i), c);
+    }
+  }
+}
+
+void Embedding::CollectParams(std::vector<Parameter*>* params) {
+  params->push_back(&table_);
+}
+
+}  // namespace nn
+}  // namespace fastft

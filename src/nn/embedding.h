@@ -1,0 +1,40 @@
+// Token embedding table with sparse-gradient backward.
+
+#ifndef FASTFT_NN_EMBEDDING_H_
+#define FASTFT_NN_EMBEDDING_H_
+
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace fastft {
+class Rng;
+
+namespace nn {
+
+class Embedding {
+ public:
+  Embedding() = default;
+  Embedding(int vocab_size, int dim, Rng* rng);
+
+  /// Rows of the table for each id (out: len × dim). Ids are clamped into
+  /// the vocabulary so unseen tokens degrade gracefully.
+  Matrix Forward(const std::vector<int>& ids);
+
+  /// Accumulates gradients into the rows selected by the last Forward.
+  void Backward(const Matrix& dy);
+
+  void CollectParams(std::vector<Parameter*>* params);
+
+  int vocab_size() const { return table_.value.rows(); }
+  int dim() const { return table_.value.cols(); }
+
+ private:
+  Parameter table_;
+  std::vector<int> last_ids_;
+};
+
+}  // namespace nn
+}  // namespace fastft
+
+#endif  // FASTFT_NN_EMBEDDING_H_

@@ -1,0 +1,58 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace fastft {
+namespace nn {
+
+Matrix XavierInit(int rows, int cols, Rng* rng) {
+  double scale = std::sqrt(2.0 / static_cast<double>(rows + cols));
+  return Matrix::Randn(rows, cols, scale, rng);
+}
+
+Matrix OrthogonalInit(int rows, int cols, double gain, Rng* rng) {
+  // Orthonormalize along the smaller dimension via modified Gram-Schmidt
+  // (run twice for numerical robustness), then scale by `gain`. The
+  // min(rows, cols) vectors of dimension max(rows, cols) can always be made
+  // mutually orthonormal.
+  const bool transpose = rows > cols;
+  const int n = transpose ? cols : rows;  // number of vectors (small dim)
+  const int d = transpose ? rows : cols;  // vector dimension (large dim)
+  Matrix a = Matrix::Randn(n, d, 1.0, rng);
+
+  auto normalize_row = [&](int i) {
+    double norm = 0.0;
+    for (int c = 0; c < d; ++c) norm += a(i, c) * a(i, c);
+    norm = std::sqrt(norm);
+    if (norm < 1e-12) {
+      for (int c = 0; c < d; ++c) a(i, c) = rng->Normal();
+      norm = 0.0;
+      for (int c = 0; c < d; ++c) norm += a(i, c) * a(i, c);
+      norm = std::sqrt(norm);
+    }
+    for (int c = 0; c < d; ++c) a(i, c) /= norm;
+  };
+
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int i = 0; i < n; ++i) {
+      // Only the first d rows can be mutually orthogonal; later rows are
+      // just normalized (semi-orthogonal case n > d).
+      int limit = std::min(i, d);
+      for (int j = 0; j < limit; ++j) {
+        double dot = 0.0;
+        for (int c = 0; c < d; ++c) dot += a(i, c) * a(j, c);
+        for (int c = 0; c < d; ++c) a(i, c) -= dot * a(j, c);
+      }
+      normalize_row(i);
+    }
+  }
+  a.ScaleInPlace(gain);
+  if (transpose) return a.Transpose();
+  return a;
+}
+
+}  // namespace nn
+}  // namespace fastft

@@ -1,0 +1,28 @@
+// Weight initialization schemes.
+//
+// Orthogonal initialization matters here beyond the usual conditioning
+// argument: the Novelty Estimator's frozen target network is *orthogonally*
+// initialized (paper §III-C, following randomized-prior / RND work) so its
+// outputs are decorrelated from the trained estimator at start.
+
+#ifndef FASTFT_NN_INIT_H_
+#define FASTFT_NN_INIT_H_
+
+#include "nn/matrix.h"
+
+namespace fastft {
+class Rng;
+
+namespace nn {
+
+/// Xavier/Glorot normal initialization.
+Matrix XavierInit(int rows, int cols, Rng* rng);
+
+/// (Semi-)orthogonal initialization with the given gain: rows (or columns,
+/// whichever is the smaller dimension) are orthonormal, then scaled.
+Matrix OrthogonalInit(int rows, int cols, double gain, Rng* rng);
+
+}  // namespace nn
+}  // namespace fastft
+
+#endif  // FASTFT_NN_INIT_H_

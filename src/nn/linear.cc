@@ -1,0 +1,61 @@
+#include "nn/linear.h"
+
+#include "common/logging.h"
+#include "nn/init.h"
+
+namespace fastft {
+namespace nn {
+
+Linear::Linear(int in_dim, int out_dim, Rng* rng)
+    : weight_(XavierInit(in_dim, out_dim, rng)),
+      bias_(Matrix(1, out_dim)) {}
+
+Matrix Linear::Forward(const Matrix& x) {
+  FASTFT_CHECK_EQ(x.cols(), weight_.value.rows());
+  last_input_ = x;
+  Matrix y = x.MatMul(weight_.value);
+  for (int r = 0; r < y.rows(); ++r) {
+    for (int c = 0; c < y.cols(); ++c) y(r, c) += bias_.value(0, c);
+  }
+  return y;
+}
+
+Matrix Linear::Backward(const Matrix& dy) {
+  FASTFT_CHECK_EQ(dy.rows(), last_input_.rows());
+  FASTFT_CHECK_EQ(dy.cols(), weight_.value.cols());
+  // dW = x^T dy, db = colsum(dy), dx = dy W^T.
+  weight_.grad.AddInPlace(last_input_.Transpose().MatMul(dy));
+  for (int r = 0; r < dy.rows(); ++r) {
+    for (int c = 0; c < dy.cols(); ++c) bias_.grad(0, c) += dy(r, c);
+  }
+  return dy.MatMul(weight_.value.Transpose());
+}
+
+void Linear::CollectParams(std::vector<Parameter*>* params) {
+  params->push_back(&weight_);
+  params->push_back(&bias_);
+}
+
+Matrix Relu::Forward(const Matrix& x) {
+  last_input_ = x;
+  Matrix y = x;
+  for (int r = 0; r < y.rows(); ++r) {
+    for (int c = 0; c < y.cols(); ++c) {
+      if (y(r, c) < 0.0) y(r, c) = 0.0;
+    }
+  }
+  return y;
+}
+
+Matrix Relu::Backward(const Matrix& dy) const {
+  Matrix dx = dy;
+  for (int r = 0; r < dx.rows(); ++r) {
+    for (int c = 0; c < dx.cols(); ++c) {
+      if (last_input_(r, c) <= 0.0) dx(r, c) = 0.0;
+    }
+  }
+  return dx;
+}
+
+}  // namespace nn
+}  // namespace fastft

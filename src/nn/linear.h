@@ -1,0 +1,53 @@
+// Fully-connected layer with cached-input backward pass.
+
+#ifndef FASTFT_NN_LINEAR_H_
+#define FASTFT_NN_LINEAR_H_
+
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace fastft {
+class Rng;
+
+namespace nn {
+
+class Linear {
+ public:
+  Linear() = default;
+  /// Xavier-initialized (in_dim × out_dim) weights + zero bias.
+  Linear(int in_dim, int out_dim, Rng* rng);
+
+  /// y = x W + b for row-major x (batch × in_dim).
+  Matrix Forward(const Matrix& x);
+
+  /// Accumulates dW, db; returns dx. Requires a prior Forward call.
+  Matrix Backward(const Matrix& dy);
+
+  void CollectParams(std::vector<Parameter*>* params);
+
+  int in_dim() const { return weight_.value.rows(); }
+  int out_dim() const { return weight_.value.cols(); }
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+
+ private:
+  Parameter weight_;
+  Parameter bias_;
+  Matrix last_input_;
+};
+
+/// Element-wise ReLU with backward.
+class Relu {
+ public:
+  Matrix Forward(const Matrix& x);
+  Matrix Backward(const Matrix& dy) const;
+
+ private:
+  Matrix last_input_;
+};
+
+}  // namespace nn
+}  // namespace fastft
+
+#endif  // FASTFT_NN_LINEAR_H_

@@ -1,0 +1,133 @@
+#include "nn/lstm.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "nn/init.h"
+
+namespace fastft {
+namespace nn {
+namespace {
+
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+}  // namespace
+
+LstmLayer::LstmLayer(int input_dim, int hidden_dim, Rng* rng)
+    : input_dim_(input_dim),
+      hidden_dim_(hidden_dim),
+      w_(XavierInit(4 * hidden_dim, hidden_dim + input_dim, rng)),
+      b_(Matrix(4 * hidden_dim, 1)) {
+  // Forget-gate bias starts at 1 (standard trick for gradient flow).
+  for (int r = hidden_dim; r < 2 * hidden_dim; ++r) b_.value(r, 0) = 1.0;
+}
+
+Matrix LstmLayer::Forward(const Matrix& x) {
+  FASTFT_CHECK_EQ(x.cols(), input_dim_);
+  const int len = x.rows();
+  const int h = hidden_dim_;
+  const int zdim = h + input_dim_;
+  cache_.assign(len, StepCache{});
+  Matrix hidden(len, h);
+
+  std::vector<double> h_prev(h, 0.0), c_prev(h, 0.0);
+  for (int t = 0; t < len; ++t) {
+    StepCache& sc = cache_[t];
+    sc.z.resize(zdim);
+    for (int j = 0; j < h; ++j) sc.z[j] = h_prev[j];
+    for (int j = 0; j < input_dim_; ++j) sc.z[h + j] = x(t, j);
+    sc.c_prev = c_prev;
+
+    sc.i.resize(h);
+    sc.f.resize(h);
+    sc.g.resize(h);
+    sc.o.resize(h);
+    sc.c.resize(h);
+    sc.tanh_c.resize(h);
+    for (int j = 0; j < h; ++j) {
+      double pre_i = b_.value(j, 0);
+      double pre_f = b_.value(h + j, 0);
+      double pre_g = b_.value(2 * h + j, 0);
+      double pre_o = b_.value(3 * h + j, 0);
+      for (int k = 0; k < zdim; ++k) {
+        double zk = sc.z[k];
+        pre_i += w_.value(j, k) * zk;
+        pre_f += w_.value(h + j, k) * zk;
+        pre_g += w_.value(2 * h + j, k) * zk;
+        pre_o += w_.value(3 * h + j, k) * zk;
+      }
+      sc.i[j] = Sigmoid(pre_i);
+      sc.f[j] = Sigmoid(pre_f);
+      sc.g[j] = std::tanh(pre_g);
+      sc.o[j] = Sigmoid(pre_o);
+      sc.c[j] = sc.f[j] * c_prev[j] + sc.i[j] * sc.g[j];
+      sc.tanh_c[j] = std::tanh(sc.c[j]);
+      hidden(t, j) = sc.o[j] * sc.tanh_c[j];
+      h_prev[j] = hidden(t, j);
+    }
+    c_prev = sc.c;
+  }
+  return hidden;
+}
+
+Matrix LstmLayer::Backward(const Matrix& dh_all) {
+  const int len = static_cast<int>(cache_.size());
+  FASTFT_CHECK_EQ(dh_all.rows(), len);
+  const int h = hidden_dim_;
+  const int zdim = h + input_dim_;
+  Matrix dx(len, input_dim_);
+
+  std::vector<double> dh_next(h, 0.0), dc_next(h, 0.0);
+  std::vector<double> dgates(4 * h);
+  for (int t = len - 1; t >= 0; --t) {
+    const StepCache& sc = cache_[t];
+    for (int j = 0; j < h; ++j) {
+      double dh = dh_all(t, j) + dh_next[j];
+      double d_o = dh * sc.tanh_c[j];
+      double dc = dh * sc.o[j] * (1.0 - sc.tanh_c[j] * sc.tanh_c[j]) +
+                  dc_next[j];
+      double d_i = dc * sc.g[j];
+      double d_g = dc * sc.i[j];
+      double d_f = dc * sc.c_prev[j];
+      dc_next[j] = dc * sc.f[j];
+      // Pre-activation gradients.
+      dgates[j] = d_i * sc.i[j] * (1.0 - sc.i[j]);
+      dgates[h + j] = d_f * sc.f[j] * (1.0 - sc.f[j]);
+      dgates[2 * h + j] = d_g * (1.0 - sc.g[j] * sc.g[j]);
+      dgates[3 * h + j] = d_o * sc.o[j] * (1.0 - sc.o[j]);
+    }
+    // Parameter grads: dW += dgates ⊗ z; db += dgates. Input grads via W^T.
+    std::vector<double> dz(zdim, 0.0);
+    for (int r = 0; r < 4 * h; ++r) {
+      double dg = dgates[r];
+      if (dg == 0.0) continue;
+      b_.grad(r, 0) += dg;
+      for (int k = 0; k < zdim; ++k) {
+        w_.grad(r, k) += dg * sc.z[k];
+        dz[k] += dg * w_.value(r, k);
+      }
+    }
+    for (int j = 0; j < h; ++j) dh_next[j] = dz[j];
+    for (int j = 0; j < input_dim_; ++j) dx(t, j) = dz[h + j];
+  }
+  return dx;
+}
+
+void LstmLayer::CollectParams(std::vector<Parameter*>* params) {
+  params->push_back(&w_);
+  params->push_back(&b_);
+}
+
+size_t LstmLayer::ParameterBytes() const {
+  return (w_.value.size() + b_.value.size()) * sizeof(double);
+}
+
+size_t LstmLayer::ActivationBytes(int len) const {
+  // z, i, f, g, o, c, tanh_c, c_prev per timestep.
+  size_t per_step = static_cast<size_t>(hidden_dim_ + input_dim_) +
+                    7u * static_cast<size_t>(hidden_dim_);
+  return per_step * static_cast<size_t>(len) * sizeof(double);
+}
+
+}  // namespace nn
+}  // namespace fastft

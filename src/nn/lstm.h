@@ -1,0 +1,58 @@
+// Single LSTM layer with full backpropagation-through-time.
+//
+// Weight layout: W is (4H × (H+D)) with gate blocks ordered [i, f, g, o];
+// b is (4H × 1). Forward caches per-timestep activations for Backward.
+
+#ifndef FASTFT_NN_LSTM_H_
+#define FASTFT_NN_LSTM_H_
+
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace fastft {
+class Rng;
+
+namespace nn {
+
+class LstmLayer {
+ public:
+  LstmLayer() = default;
+  LstmLayer(int input_dim, int hidden_dim, Rng* rng);
+
+  /// x: (len × input_dim) → hidden states (len × hidden_dim), h0 = c0 = 0.
+  Matrix Forward(const Matrix& x);
+
+  /// dh: gradient wrt every hidden state (len × hidden_dim). Accumulates
+  /// parameter grads; returns dx (len × input_dim).
+  Matrix Backward(const Matrix& dh);
+
+  void CollectParams(std::vector<Parameter*>* params);
+
+  int input_dim() const { return input_dim_; }
+  int hidden_dim() const { return hidden_dim_; }
+
+  /// Bytes held by parameters (weights + biases), excluding gradients.
+  size_t ParameterBytes() const;
+  /// Bytes of cached activations for a sequence of length `len`.
+  size_t ActivationBytes(int len) const;
+
+ private:
+  struct StepCache {
+    std::vector<double> z;       // [h_{t-1}; x_t], size H+D
+    std::vector<double> i, f, g, o;
+    std::vector<double> c, tanh_c;
+    std::vector<double> c_prev;
+  };
+
+  int input_dim_ = 0;
+  int hidden_dim_ = 0;
+  Parameter w_;  // (4H × (H+D))
+  Parameter b_;  // (4H × 1)
+  std::vector<StepCache> cache_;
+};
+
+}  // namespace nn
+}  // namespace fastft
+
+#endif  // FASTFT_NN_LSTM_H_

@@ -1,0 +1,69 @@
+#include "nn/matrix.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace fastft {
+namespace nn {
+
+Matrix Matrix::Randn(int rows, int cols, double scale, Rng* rng) {
+  Matrix m(rows, cols);
+  for (double& v : m.data_) v = rng->Normal(0.0, scale);
+  return m;
+}
+
+std::vector<double> Matrix::RowVec(int r) const {
+  FASTFT_CHECK_GE(r, 0);
+  FASTFT_CHECK_LT(r, rows_);
+  std::vector<double> out(cols_);
+  for (int c = 0; c < cols_; ++c) out[c] = (*this)(r, c);
+  return out;
+}
+
+void Matrix::Fill(double value) {
+  for (double& v : data_) v = value;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix out(cols_, rows_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  FASTFT_CHECK_EQ(cols_, other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (int i = 0; i < rows_; ++i) {
+    for (int k = 0; k < cols_; ++k) {
+      double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      const double* brow = other.data() + static_cast<size_t>(k) * other.cols_;
+      double* orow = out.data() + static_cast<size_t>(i) * other.cols_;
+      for (int j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+    }
+  }
+  return out;
+}
+
+void Matrix::AddInPlace(const Matrix& other) {
+  FASTFT_CHECK_EQ(rows_, other.rows_);
+  FASTFT_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::ScaleInPlace(double factor) {
+  for (double& v : data_) v *= factor;
+}
+
+double Matrix::Norm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+}  // namespace nn
+}  // namespace fastft

@@ -1,0 +1,77 @@
+// Dense row-major matrix of doubles — the tensor type of the nn library.
+//
+// Sized for the paper's tiny sequence models (embedding dim 32, hidden 32):
+// straightforward loops beat the complexity of a BLAS dependency here.
+
+#ifndef FASTFT_NN_MATRIX_H_
+#define FASTFT_NN_MATRIX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fastft {
+class Rng;
+
+namespace nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows) * cols,
+                                        fill) {}
+
+  /// Gaussian-initialized matrix with std `scale`.
+  static Matrix Randn(int rows, int cols, double scale, Rng* rng);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool Empty() const { return data_.empty(); }
+
+  double& operator()(int r, int c) { return data_[static_cast<size_t>(r) * cols_ + c]; }
+  double operator()(int r, int c) const {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Row `r` as a vector copy.
+  std::vector<double> RowVec(int r) const;
+
+  void Fill(double value);
+  Matrix Transpose() const;
+
+  /// this * other.
+  Matrix MatMul(const Matrix& other) const;
+
+  void AddInPlace(const Matrix& other);
+  void ScaleInPlace(double factor);
+
+  /// Frobenius norm of the matrix.
+  double Norm() const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Trainable tensor: value plus accumulated gradient of identical shape.
+struct Parameter {
+  Matrix value;
+  Matrix grad;
+
+  explicit Parameter(Matrix v = Matrix())
+      : value(std::move(v)), grad(value.rows(), value.cols()) {}
+
+  void ZeroGrad() { grad.Fill(0.0); }
+  size_t size() const { return value.size(); }
+};
+
+}  // namespace nn
+}  // namespace fastft
+
+#endif  // FASTFT_NN_MATRIX_H_

@@ -1,0 +1,55 @@
+#include "nn/mlp.h"
+
+#include "common/logging.h"
+#include "nn/init.h"
+
+namespace fastft {
+namespace nn {
+
+Mlp::Mlp(const MlpConfig& config, Rng* rng) {
+  FASTFT_CHECK_GE(config.dims.size(), 2u);
+  for (size_t i = 0; i + 1 < config.dims.size(); ++i) {
+    Linear layer(config.dims[i], config.dims[i + 1], rng);
+    if (config.orthogonal_gain > 0.0) {
+      layer.weight().value = OrthogonalInit(config.dims[i], config.dims[i + 1],
+                                            config.orthogonal_gain, rng);
+    }
+    layers_.push_back(std::move(layer));
+  }
+  relus_.resize(layers_.size() > 0 ? layers_.size() - 1 : 0);
+}
+
+Matrix Mlp::Forward(const Matrix& x) {
+  Matrix h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].Forward(h);
+    if (i + 1 < layers_.size()) h = relus_[i].Forward(h);
+  }
+  return h;
+}
+
+Matrix Mlp::Backward(const Matrix& dy) {
+  Matrix d = dy;
+  for (size_t i = layers_.size(); i-- > 0;) {
+    if (i + 1 < layers_.size()) d = relus_[i].Backward(d);
+    // Backward order: undo layer i after its activation.
+    d = layers_[i].Backward(d);
+  }
+  return d;
+}
+
+void Mlp::CollectParams(std::vector<Parameter*>* params) {
+  for (Linear& layer : layers_) layer.CollectParams(params);
+}
+
+size_t Mlp::ParameterBytes() const {
+  size_t n = 0;
+  for (const Linear& layer : layers_) {
+    n += (static_cast<size_t>(layer.in_dim()) * layer.out_dim() +
+          layer.out_dim());
+  }
+  return n * sizeof(double);
+}
+
+}  // namespace nn
+}  // namespace fastft

@@ -1,0 +1,51 @@
+// Multi-layer perceptron head: Linear(+ReLU) stacks with optional
+// orthogonal initialization (used by the Novelty Estimator's networks and
+// the RL policy/value networks).
+
+#ifndef FASTFT_NN_MLP_H_
+#define FASTFT_NN_MLP_H_
+
+#include <vector>
+
+#include "nn/linear.h"
+#include "nn/matrix.h"
+
+namespace fastft {
+class Rng;
+
+namespace nn {
+
+struct MlpConfig {
+  /// Layer widths including input and output, e.g. {64, 16, 1}.
+  std::vector<int> dims;
+  /// Orthogonal init with this gain when > 0; Xavier otherwise. The paper
+  /// sets the Novelty Estimator's coupled orthogonal scaling factor to 16.
+  double orthogonal_gain = 0.0;
+};
+
+class Mlp {
+ public:
+  Mlp() = default;
+  Mlp(const MlpConfig& config, Rng* rng);
+
+  /// ReLU between layers, identity output. x: (batch × dims.front()).
+  Matrix Forward(const Matrix& x);
+  Matrix Backward(const Matrix& dy);
+
+  void CollectParams(std::vector<Parameter*>* params);
+
+  int in_dim() const { return layers_.empty() ? 0 : layers_.front().in_dim(); }
+  int out_dim() const {
+    return layers_.empty() ? 0 : layers_.back().out_dim();
+  }
+  size_t ParameterBytes() const;
+
+ private:
+  std::vector<Linear> layers_;
+  std::vector<Relu> relus_;
+};
+
+}  // namespace nn
+}  // namespace fastft
+
+#endif  // FASTFT_NN_MLP_H_

@@ -1,0 +1,72 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace fastft {
+namespace nn {
+
+void ClipGradNorm(const std::vector<Parameter*>& params, double max_norm) {
+  double total = 0.0;
+  for (Parameter* p : params) {
+    double n = p->grad.Norm();
+    total += n * n;
+  }
+  total = std::sqrt(total);
+  if (total <= max_norm || total <= 1e-12) return;
+  double factor = max_norm / total;
+  for (Parameter* p : params) p->grad.ScaleInPlace(factor);
+}
+
+void ZeroGrads(const std::vector<Parameter*>& params) {
+  for (Parameter* p : params) p->ZeroGrad();
+}
+
+AdamOptimizer::AdamOptimizer(std::vector<Parameter*> params, double lr,
+                             double beta1, double beta2, double eps)
+    : params_(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    m_.emplace_back(p->size(), 0.0);
+    v_.emplace_back(p->size(), 0.0);
+  }
+}
+
+void AdamOptimizer::Step() {
+  ++t_;
+  const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    double* value = p->value.data();
+    double* grad = p->grad.data();
+    std::vector<double>& m = m_[i];
+    std::vector<double>& v = v_[i];
+    for (size_t j = 0; j < p->size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0 - beta1_) * grad[j];
+      v[j] = beta2_ * v[j] + (1.0 - beta2_) * grad[j] * grad[j];
+      double mhat = m[j] / bias1;
+      double vhat = v[j] / bias2;
+      value[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+      grad[j] = 0.0;
+    }
+  }
+}
+
+void SgdOptimizer::Step() {
+  for (Parameter* p : params_) {
+    double* value = p->value.data();
+    double* grad = p->grad.data();
+    for (size_t j = 0; j < p->size(); ++j) {
+      value[j] -= lr_ * grad[j];
+      grad[j] = 0.0;
+    }
+  }
+}
+
+}  // namespace nn
+}  // namespace fastft

@@ -1,0 +1,57 @@
+// Optimizers: Adam (default throughout) and plain SGD; global-norm gradient
+// clipping.
+
+#ifndef FASTFT_NN_OPTIMIZER_H_
+#define FASTFT_NN_OPTIMIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace fastft {
+namespace nn {
+
+/// Scales all gradients so their global L2 norm is at most `max_norm`.
+void ClipGradNorm(const std::vector<Parameter*>& params, double max_norm);
+
+/// Zeroes the gradients of all parameters.
+void ZeroGrads(const std::vector<Parameter*>& params);
+
+class AdamOptimizer {
+ public:
+  explicit AdamOptimizer(std::vector<Parameter*> params, double lr = 1e-3,
+                         double beta1 = 0.9, double beta2 = 0.999,
+                         double eps = 1e-8);
+
+  /// Applies one update from the accumulated gradients, then zeroes them.
+  void Step();
+
+  void set_learning_rate(double lr) { lr_ = lr; }
+  double learning_rate() const { return lr_; }
+  const std::vector<Parameter*>& params() const { return params_; }
+
+ private:
+  std::vector<Parameter*> params_;
+  double lr_, beta1_, beta2_, eps_;
+  int64_t t_ = 0;
+  std::vector<std::vector<double>> m_, v_;
+};
+
+class SgdOptimizer {
+ public:
+  explicit SgdOptimizer(std::vector<Parameter*> params, double lr = 1e-2)
+      : params_(std::move(params)), lr_(lr) {}
+
+  void Step();
+  void set_learning_rate(double lr) { lr_ = lr; }
+
+ private:
+  std::vector<Parameter*> params_;
+  double lr_;
+};
+
+}  // namespace nn
+}  // namespace fastft
+
+#endif  // FASTFT_NN_OPTIMIZER_H_

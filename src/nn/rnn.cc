@@ -1,0 +1,84 @@
+#include "nn/rnn.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "nn/init.h"
+
+namespace fastft {
+namespace nn {
+
+RnnLayer::RnnLayer(int input_dim, int hidden_dim, Rng* rng)
+    : input_dim_(input_dim),
+      hidden_dim_(hidden_dim),
+      w_(XavierInit(hidden_dim, hidden_dim + input_dim, rng)),
+      b_(Matrix(hidden_dim, 1)) {}
+
+Matrix RnnLayer::Forward(const Matrix& x) {
+  FASTFT_CHECK_EQ(x.cols(), input_dim_);
+  const int len = x.rows();
+  const int h = hidden_dim_;
+  const int zdim = h + input_dim_;
+  z_cache_.assign(len, {});
+  h_cache_ = Matrix(len, h);
+
+  std::vector<double> h_prev(h, 0.0);
+  for (int t = 0; t < len; ++t) {
+    std::vector<double>& z = z_cache_[t];
+    z.resize(zdim);
+    for (int j = 0; j < h; ++j) z[j] = h_prev[j];
+    for (int j = 0; j < input_dim_; ++j) z[h + j] = x(t, j);
+    for (int j = 0; j < h; ++j) {
+      double pre = b_.value(j, 0);
+      for (int k = 0; k < zdim; ++k) pre += w_.value(j, k) * z[k];
+      h_cache_(t, j) = std::tanh(pre);
+      h_prev[j] = h_cache_(t, j);
+    }
+  }
+  return h_cache_;
+}
+
+Matrix RnnLayer::Backward(const Matrix& dh_all) {
+  const int len = static_cast<int>(z_cache_.size());
+  FASTFT_CHECK_EQ(dh_all.rows(), len);
+  const int h = hidden_dim_;
+  const int zdim = h + input_dim_;
+  Matrix dx(len, input_dim_);
+
+  std::vector<double> dh_next(h, 0.0);
+  for (int t = len - 1; t >= 0; --t) {
+    const std::vector<double>& z = z_cache_[t];
+    std::vector<double> dz(zdim, 0.0);
+    for (int j = 0; j < h; ++j) {
+      double dh = dh_all(t, j) + dh_next[j];
+      double dpre = dh * (1.0 - h_cache_(t, j) * h_cache_(t, j));
+      if (dpre == 0.0) continue;
+      b_.grad(j, 0) += dpre;
+      for (int k = 0; k < zdim; ++k) {
+        w_.grad(j, k) += dpre * z[k];
+        dz[k] += dpre * w_.value(j, k);
+      }
+    }
+    for (int j = 0; j < h; ++j) dh_next[j] = dz[j];
+    for (int j = 0; j < input_dim_; ++j) dx(t, j) = dz[h + j];
+  }
+  return dx;
+}
+
+void RnnLayer::CollectParams(std::vector<Parameter*>* params) {
+  params->push_back(&w_);
+  params->push_back(&b_);
+}
+
+size_t RnnLayer::ParameterBytes() const {
+  return (w_.value.size() + b_.value.size()) * sizeof(double);
+}
+
+size_t RnnLayer::ActivationBytes(int len) const {
+  size_t per_step = static_cast<size_t>(hidden_dim_ + input_dim_) +
+                    static_cast<size_t>(hidden_dim_);
+  return per_step * static_cast<size_t>(len) * sizeof(double);
+}
+
+}  // namespace nn
+}  // namespace fastft

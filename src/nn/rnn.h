@@ -1,0 +1,44 @@
+// Vanilla tanh RNN layer (Fig. 8 ablation backbone).
+
+#ifndef FASTFT_NN_RNN_H_
+#define FASTFT_NN_RNN_H_
+
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace fastft {
+class Rng;
+
+namespace nn {
+
+class RnnLayer {
+ public:
+  RnnLayer() = default;
+  RnnLayer(int input_dim, int hidden_dim, Rng* rng);
+
+  /// h_t = tanh(W [h_{t-1}; x_t] + b); returns (len × hidden_dim).
+  Matrix Forward(const Matrix& x);
+  /// Accumulates grads, returns dx.
+  Matrix Backward(const Matrix& dh);
+
+  void CollectParams(std::vector<Parameter*>* params);
+
+  int input_dim() const { return input_dim_; }
+  int hidden_dim() const { return hidden_dim_; }
+  size_t ParameterBytes() const;
+  size_t ActivationBytes(int len) const;
+
+ private:
+  int input_dim_ = 0;
+  int hidden_dim_ = 0;
+  Parameter w_;  // (H × (H+D))
+  Parameter b_;  // (H × 1)
+  std::vector<std::vector<double>> z_cache_;  // [h_{t-1}; x_t]
+  Matrix h_cache_;
+};
+
+}  // namespace nn
+}  // namespace fastft
+
+#endif  // FASTFT_NN_RNN_H_

@@ -1,0 +1,99 @@
+// Sequence-to-scalar model: Embedding → stacked backbone → pooling → MLP.
+//
+// This is the shared architecture of the Performance Predictor and both
+// Novelty Estimator networks (paper §III-C): 2 stacked LSTM layers with
+// embedding dim 32, followed by fully-connected layers. The backbone is
+// swappable (LSTM / RNN / Transformer) for the Fig. 8 ablation.
+
+#ifndef FASTFT_NN_SEQUENCE_MODEL_H_
+#define FASTFT_NN_SEQUENCE_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/embedding.h"
+#include "nn/lstm.h"
+#include "nn/matrix.h"
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+#include "nn/rnn.h"
+#include "nn/serialization.h"
+#include "nn/transformer.h"
+
+namespace fastft {
+namespace nn {
+
+enum class Backbone { kLstm, kRnn, kTransformer };
+
+const char* BackboneName(Backbone backbone);
+
+struct SequenceModelConfig {
+  Backbone backbone = Backbone::kLstm;
+  int vocab_size = 64;
+  int embed_dim = 32;
+  int hidden_dim = 32;
+  int num_layers = 2;
+  /// Hidden widths of the FC head after pooling (output width appended last).
+  /// Paper: predictor head {16, 1}; novelty estimator head {16, 4, 1};
+  /// novelty target head {1}.
+  std::vector<int> head_dims = {16, 1};
+  /// When > 0, head weights are orthogonally initialized with this gain
+  /// (the paper's "coupled orthogonal initialization scaling factor", 16.0).
+  double orthogonal_gain = 0.0;
+  uint64_t seed = 97;
+};
+
+class SequenceModel {
+ public:
+  explicit SequenceModel(const SequenceModelConfig& config);
+
+  SequenceModel(const SequenceModel&) = delete;
+  SequenceModel& operator=(const SequenceModel&) = delete;
+
+  /// Scalar output for a token sequence (first head output if head is wider).
+  double Forward(const std::vector<int>& tokens);
+
+  /// Pooled backbone representation (no head), for embedding-space uses
+  /// (novelty distance metric, DIFER search).
+  std::vector<double> Encode(const std::vector<int>& tokens);
+
+  /// Accumulates gradients of 0.5*(Forward(tokens) - target)^2.
+  /// Returns the squared error. Call optimizer Step() to apply.
+  double TrainStep(const std::vector<int>& tokens, double target);
+
+  /// Gradient step helper: clip + Adam step over this model's params.
+  void ApplyStep();
+
+  std::vector<Parameter*> Params();
+
+  /// Persists / restores the trained weights (architecture must match).
+  Status Save(const std::string& path) { return SaveParameters(Params(), path); }
+  Status Load(const std::string& path) { return LoadParameters(Params(), path); }
+
+  size_t ParameterBytes() const;
+  size_t ActivationBytes(int sequence_length) const;
+
+  const SequenceModelConfig& config() const { return config_; }
+
+ private:
+  Matrix RunBackbone(const Matrix& embedded);
+  /// Pools backbone output (len × hidden) to (1 × hidden).
+  Matrix Pool(const Matrix& hidden) const;
+  /// Distributes pooled gradient back over timesteps.
+  Matrix Unpool(const Matrix& d_pooled, int len) const;
+
+  SequenceModelConfig config_;
+  Embedding embedding_;
+  std::vector<LstmLayer> lstm_layers_;
+  std::vector<RnnLayer> rnn_layers_;
+  std::vector<TransformerBlock> transformer_layers_;
+  Mlp head_;
+  std::unique_ptr<AdamOptimizer> optimizer_;
+  int last_len_ = 0;
+};
+
+}  // namespace nn
+}  // namespace fastft
+
+#endif  // FASTFT_NN_SEQUENCE_MODEL_H_

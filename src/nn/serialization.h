@@ -1,0 +1,31 @@
+// Parameter serialization: save/load trained weights.
+//
+// Binary format v1: magic "FFTW", uint32 version, uint32 tensor count, then
+// per tensor {uint32 rows, uint32 cols, rows*cols little-endian doubles}.
+// Loading is shape-checked against the destination parameters, so a file
+// can only be restored into a model with the identical architecture.
+
+#ifndef FASTFT_NN_SERIALIZATION_H_
+#define FASTFT_NN_SERIALIZATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/matrix.h"
+
+namespace fastft {
+namespace nn {
+
+/// Writes the parameter values (not gradients) to `path`.
+Status SaveParameters(const std::vector<Parameter*>& params,
+                      const std::string& path);
+
+/// Restores parameter values from `path`; every tensor's shape must match.
+Status LoadParameters(const std::vector<Parameter*>& params,
+                      const std::string& path);
+
+}  // namespace nn
+}  // namespace fastft
+
+#endif  // FASTFT_NN_SERIALIZATION_H_

@@ -1,0 +1,115 @@
+#include "nn/transformer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fastft {
+namespace nn {
+
+TransformerBlock::TransformerBlock(int dim, Rng* rng)
+    : dim_(dim),
+      wq_(dim, dim, rng),
+      wk_(dim, dim, rng),
+      wv_(dim, dim, rng),
+      wo_(dim, dim, rng),
+      ff1_(dim, 2 * dim, rng),
+      ff2_(2 * dim, dim, rng) {}
+
+Matrix TransformerBlock::Forward(const Matrix& x) {
+  FASTFT_CHECK_EQ(x.cols(), dim_);
+  const int len = x.rows();
+  const double scale = 1.0 / std::sqrt(static_cast<double>(dim_));
+
+  q_ = wq_.Forward(x);
+  k_ = wk_.Forward(x);
+  v_ = wv_.Forward(x);
+
+  // Scaled dot-product attention with row softmax.
+  Matrix scores = q_.MatMul(k_.Transpose());
+  scores.ScaleInPlace(scale);
+  attn_ = Matrix(len, len);
+  for (int r = 0; r < len; ++r) {
+    double max_score = -1e300;
+    for (int c = 0; c < len; ++c) max_score = std::max(max_score, scores(r, c));
+    double denom = 0.0;
+    for (int c = 0; c < len; ++c) {
+      attn_(r, c) = std::exp(scores(r, c) - max_score);
+      denom += attn_(r, c);
+    }
+    for (int c = 0; c < len; ++c) attn_(r, c) /= denom;
+  }
+
+  Matrix context = attn_.MatMul(v_);
+  Matrix attended = wo_.Forward(context);
+  attended.AddInPlace(x);  // residual 1
+
+  Matrix ff = ff2_.Forward(relu_.Forward(ff1_.Forward(attended)));
+  ff.AddInPlace(attended);  // residual 2
+  return ff;
+}
+
+Matrix TransformerBlock::Backward(const Matrix& dy) {
+  const double scale = 1.0 / std::sqrt(static_cast<double>(dim_));
+
+  // Feed-forward residual branch.
+  Matrix d_attended = ff1_.Backward(relu_.Backward(ff2_.Backward(dy)));
+  d_attended.AddInPlace(dy);  // residual 2 skip path
+
+  // Attention branch.
+  Matrix d_context = wo_.Backward(d_attended);
+  Matrix d_attn = d_context.MatMul(v_.Transpose());
+  Matrix dv = attn_.Transpose().MatMul(d_context);
+
+  // Softmax backward per row: dS = A ∘ (dA - rowsum(dA ∘ A)).
+  const int len = attn_.rows();
+  Matrix d_scores(len, len);
+  for (int r = 0; r < len; ++r) {
+    double dot = 0.0;
+    for (int c = 0; c < len; ++c) dot += d_attn(r, c) * attn_(r, c);
+    for (int c = 0; c < len; ++c) {
+      d_scores(r, c) = attn_(r, c) * (d_attn(r, c) - dot);
+    }
+  }
+  d_scores.ScaleInPlace(scale);
+
+  Matrix dq = d_scores.MatMul(k_);
+  Matrix dk = d_scores.Transpose().MatMul(q_);
+
+  Matrix dx = wq_.Backward(dq);
+  dx.AddInPlace(wk_.Backward(dk));
+  dx.AddInPlace(wv_.Backward(dv));
+  dx.AddInPlace(d_attended);  // residual 1 skip path
+  return dx;
+}
+
+void TransformerBlock::CollectParams(std::vector<Parameter*>* params) {
+  wq_.CollectParams(params);
+  wk_.CollectParams(params);
+  wv_.CollectParams(params);
+  wo_.CollectParams(params);
+  ff1_.CollectParams(params);
+  ff2_.CollectParams(params);
+}
+
+size_t TransformerBlock::ParameterBytes() const {
+  size_t n = 0;
+  // 4 projection matrices (d×d + d), ff1 (d×2d + 2d), ff2 (2d×d + d).
+  n += 4u * (static_cast<size_t>(dim_) * dim_ + dim_);
+  n += static_cast<size_t>(dim_) * 2 * dim_ + 2 * dim_;
+  n += static_cast<size_t>(2 * dim_) * dim_ + dim_;
+  return n * sizeof(double);
+}
+
+size_t TransformerBlock::ActivationBytes(int len) const {
+  size_t l = static_cast<size_t>(len);
+  size_t d = static_cast<size_t>(dim_);
+  // q, k, v, context, attended, ff hidden (2d), output — plus the L×L
+  // attention matrix, the quadratic term.
+  size_t linear_terms = 7u * l * d + l * 2u * d;
+  size_t quadratic = l * l;
+  return (linear_terms + quadratic) * sizeof(double);
+}
+
+}  // namespace nn
+}  // namespace fastft

@@ -1,0 +1,49 @@
+// Single-head Transformer encoder block (Fig. 8 ablation backbone).
+//
+// Residual attention + residual feed-forward. Layer normalization is
+// omitted: at this scale (d=32, sequences of tens of tokens) it is not
+// needed for stable training and its absence keeps the hand-written
+// backward pass small. Activation memory is O(L^2) in sequence length —
+// the property Fig. 11 contrasts against the recurrent predictor.
+
+#ifndef FASTFT_NN_TRANSFORMER_H_
+#define FASTFT_NN_TRANSFORMER_H_
+
+#include <vector>
+
+#include "nn/linear.h"
+#include "nn/matrix.h"
+
+namespace fastft {
+class Rng;
+
+namespace nn {
+
+class TransformerBlock {
+ public:
+  TransformerBlock() = default;
+  TransformerBlock(int dim, Rng* rng);
+
+  /// x: (len × dim) → (len × dim).
+  Matrix Forward(const Matrix& x);
+  Matrix Backward(const Matrix& dy);
+
+  void CollectParams(std::vector<Parameter*>* params);
+
+  int dim() const { return dim_; }
+  size_t ParameterBytes() const;
+  size_t ActivationBytes(int len) const;
+
+ private:
+  int dim_ = 0;
+  Linear wq_, wk_, wv_, wo_;
+  Linear ff1_, ff2_;
+  Relu relu_;
+  // Caches for backward.
+  Matrix q_, k_, v_, attn_;  // attn_: softmaxed (len × len)
+};
+
+}  // namespace nn
+}  // namespace fastft
+
+#endif  // FASTFT_NN_TRANSFORMER_H_

@@ -1,0 +1,229 @@
+// Tests for Status/Result, Rng, stats, and timers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace fastft {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad shape");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad shape");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  std::set<StatusCode> codes = {
+      Status::InvalidArgument("").code(), Status::OutOfRange("").code(),
+      Status::NotFound("").code(),        Status::IOError("").code(),
+      Status::Unimplemented("").code(),   Status::Internal("").code()};
+  EXPECT_EQ(codes.size(), 6u);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.UniformInt(1000) == b.UniformInt(1000));
+  EXPECT_LT(same, 10);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(9);
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformInt(5));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 4);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(11);
+  double sum = 0, sumsq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal();
+    sum += v;
+    sumsq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, SampleDiscreteRespectsWeights) {
+  Rng rng(13);
+  std::vector<double> weights = {0.0, 1.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 4000; ++i) ++counts[rng.SampleDiscrete(weights)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_GT(counts[2], counts[1]);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.6);
+}
+
+TEST(RngTest, SampleDiscreteAllZeroFallsBackToUniform) {
+  Rng rng(17);
+  std::vector<double> weights = {0.0, 0.0, 0.0};
+  std::set<int> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.SampleDiscrete(weights));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(19);
+  std::vector<int> sample = rng.SampleWithoutReplacement(10, 6);
+  std::set<int> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 6u);
+  for (int v : sample) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 10);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementClampsK) {
+  Rng rng(21);
+  EXPECT_EQ(rng.SampleWithoutReplacement(3, 10).size(), 3u);
+}
+
+TEST(SplitMixTest, DeriveSeedIsStable) {
+  EXPECT_EQ(DeriveSeed(42, 1), DeriveSeed(42, 1));
+  EXPECT_NE(DeriveSeed(42, 1), DeriveSeed(42, 2));
+  EXPECT_NE(DeriveSeed(42, 1), DeriveSeed(43, 1));
+}
+
+TEST(StatsTest, MeanVarianceStdDev) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Mean(v), 3.0);
+  EXPECT_DOUBLE_EQ(Variance(v), 2.0);
+  EXPECT_DOUBLE_EQ(StdDev(v), std::sqrt(2.0));
+}
+
+TEST(StatsTest, EmptyInputsAreZero) {
+  std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(Mean(empty), 0.0);
+  EXPECT_DOUBLE_EQ(Variance(empty), 0.0);
+  EXPECT_DOUBLE_EQ(Quantile(empty, 0.5), 0.0);
+  Summary s = Summarize(empty);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  std::vector<double> v = {0, 10};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 10.0);
+}
+
+TEST(StatsTest, SummaryOrderedFields) {
+  std::vector<double> v = {5, 1, 4, 2, 3, 9, 0};
+  Summary s = Summarize(v);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_LE(s.min, s.q25);
+  EXPECT_LE(s.q25, s.median);
+  EXPECT_LE(s.median, s.q75);
+  EXPECT_LE(s.q75, s.max);
+  EXPECT_EQ(s.ToVector().size(), static_cast<size_t>(Summary::kNumFields));
+}
+
+TEST(StatsTest, PearsonPerfectCorrelation) {
+  std::vector<double> a = {1, 2, 3, 4};
+  std::vector<double> b = {2, 4, 6, 8};
+  EXPECT_NEAR(PearsonCorrelation(a, b), 1.0, 1e-12);
+  std::vector<double> c = {8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(a, c), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonConstantInputIsZero) {
+  std::vector<double> a = {1, 1, 1};
+  std::vector<double> b = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(a, b), 0.0);
+}
+
+TEST(StatsTest, CosineSimilarity) {
+  std::vector<double> a = {1, 0};
+  std::vector<double> b = {0, 1};
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, a), 1.0);
+  std::vector<double> zero = {0, 0};
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, zero), 0.0);
+}
+
+TEST(TimerTest, BucketsAccumulate) {
+  TimeBuckets buckets;
+  buckets.Add("a", 1.0);
+  buckets.Add("a", 0.5);
+  buckets.Add("b", 2.0);
+  EXPECT_DOUBLE_EQ(buckets.Get("a"), 1.5);
+  EXPECT_DOUBLE_EQ(buckets.Get("b"), 2.0);
+  EXPECT_DOUBLE_EQ(buckets.Get("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(buckets.Total(), 3.5);
+  buckets.Clear();
+  EXPECT_DOUBLE_EQ(buckets.Total(), 0.0);
+}
+
+TEST(TimerTest, ScopedTimerAddsElapsed) {
+  TimeBuckets buckets;
+  {
+    ScopedTimer timer(&buckets, "scope");
+    volatile double sink = 0;
+    for (int i = 0; i < 100000; ++i) sink = sink + i;
+  }
+  EXPECT_GT(buckets.Get("scope"), 0.0);
+}
+
+TEST(TimerTest, WallTimerAdvances) {
+  WallTimer timer;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GT(timer.Seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace fastft

@@ -1,0 +1,136 @@
+// Tests for the Performance Predictor and the Novelty Estimator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/novelty_estimator.h"
+#include "core/performance_predictor.h"
+
+namespace fastft {
+namespace {
+
+PredictorConfig SmallPredictorConfig() {
+  PredictorConfig cfg;
+  cfg.vocab_size = 32;
+  cfg.embed_dim = 12;
+  cfg.hidden_dim = 12;
+  cfg.num_layers = 1;
+  cfg.seed = 3;
+  return cfg;
+}
+
+NoveltyConfig SmallNoveltyConfig() {
+  NoveltyConfig cfg;
+  cfg.vocab_size = 32;
+  cfg.embed_dim = 12;
+  cfg.hidden_dim = 12;
+  cfg.num_layers = 1;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(PredictorTest, FitsSequenceScorePairs) {
+  PerformancePredictor predictor(SmallPredictorConfig());
+  std::vector<SequenceRecord> records = {
+      {{1, 4, 7, 9}, 0.9},
+      {{2, 5, 8, 10}, 0.3},
+      {{3, 6, 11, 12}, 0.6},
+  };
+  Rng rng(1);
+  double mse = predictor.Fit(records, /*epochs=*/150, &rng);
+  EXPECT_LT(mse, 0.01);
+  EXPECT_NEAR(predictor.Predict(records[0].tokens), 0.9, 0.15);
+  EXPECT_NEAR(predictor.Predict(records[1].tokens), 0.3, 0.15);
+}
+
+TEST(PredictorTest, EmptyRecordsNoop) {
+  PerformancePredictor predictor(SmallPredictorConfig());
+  Rng rng(2);
+  EXPECT_DOUBLE_EQ(predictor.Fit({}, 5, &rng), 0.0);
+  EXPECT_DOUBLE_EQ(predictor.Finetune({}), 0.0);
+}
+
+TEST(PredictorTest, FinetuneMovesPrediction) {
+  PerformancePredictor predictor(SmallPredictorConfig());
+  std::vector<int> tokens = {1, 2, 3, 4};
+  double before = predictor.Predict(tokens);
+  std::vector<SequenceRecord> batch = {{tokens, before + 0.5}};
+  for (int i = 0; i < 60; ++i) predictor.Finetune(batch);
+  double after = predictor.Predict(tokens);
+  EXPECT_GT(after, before + 0.2);
+}
+
+TEST(PredictorTest, EncodeDimensionMatchesHidden) {
+  PerformancePredictor predictor(SmallPredictorConfig());
+  EXPECT_EQ(predictor.Encode({1, 2, 3}).size(), 12u);
+}
+
+TEST(PredictorTest, MemoryAccountingPositiveAndMonotone) {
+  PerformancePredictor predictor(SmallPredictorConfig());
+  EXPECT_GT(predictor.ParameterBytes(), 0u);
+  EXPECT_LT(predictor.ActivationBytes(8), predictor.ActivationBytes(64));
+}
+
+TEST(NoveltyTest, TrainedSequencesLessNovelThanUnseen) {
+  NoveltyEstimator estimator(SmallNoveltyConfig());
+  std::vector<std::vector<int>> visited = {
+      {1, 2, 3, 4}, {1, 2, 4, 3}, {2, 1, 3, 4}, {1, 3, 2, 4}};
+  Rng rng(7);
+  estimator.Fit(visited, /*epochs=*/200, &rng);
+  double familiar = 0.0;
+  for (const auto& seq : visited) familiar += estimator.Novelty(seq);
+  familiar /= visited.size();
+  // A structurally different sequence (distinct token range).
+  double unseen = estimator.Novelty({20, 25, 30, 28, 22, 27});
+  EXPECT_GT(unseen, familiar * 2);
+}
+
+TEST(NoveltyTest, DistillationLossDecreases) {
+  NoveltyEstimator estimator(SmallNoveltyConfig());
+  std::vector<std::vector<int>> sequences = {{1, 2, 3}, {4, 5, 6}};
+  Rng rng(9);
+  double first = estimator.Fit(sequences, 1, &rng);
+  double last = estimator.Fit(sequences, 100, &rng);
+  EXPECT_LT(last, first);
+}
+
+TEST(NoveltyTest, TargetEmbeddingFrozen) {
+  NoveltyEstimator estimator(SmallNoveltyConfig());
+  std::vector<int> tokens = {3, 1, 4};
+  std::vector<double> before = estimator.TargetEmbedding(tokens);
+  std::vector<std::vector<int>> sequences = {{1, 2, 3}, {4, 5, 6}};
+  Rng rng(11);
+  estimator.Fit(sequences, 50, &rng);
+  std::vector<double> after = estimator.TargetEmbedding(tokens);
+  EXPECT_EQ(before, after);  // training never touches the target network
+}
+
+TEST(NoveltyTest, NormalizedNoveltyBounded) {
+  NoveltyEstimator estimator(SmallNoveltyConfig());
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<int> tokens;
+    for (int j = 0; j < 6; ++j) tokens.push_back(rng.UniformInt(32));
+    double v = estimator.NormalizedNovelty(tokens);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 10.0);
+  }
+}
+
+TEST(NoveltyTest, NoveltyIsSquaredErrorNonNegative) {
+  NoveltyEstimator estimator(SmallNoveltyConfig());
+  EXPECT_GE(estimator.Novelty({1, 2, 3}), 0.0);
+}
+
+TEST(NoveltyTest, DifferentSeedsDifferentTargets) {
+  NoveltyConfig a = SmallNoveltyConfig();
+  NoveltyConfig b = SmallNoveltyConfig();
+  b.seed = 999;
+  NoveltyEstimator ea(a), eb(b);
+  EXPECT_NE(ea.Novelty({1, 2, 3}), eb.Novelty({1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace fastft

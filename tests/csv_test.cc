@@ -1,0 +1,101 @@
+// Tests for CSV parsing, writing, and dataset loading.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "data/csv.h"
+
+namespace fastft {
+namespace {
+
+TEST(CsvTest, ParsesNumericTable) {
+  auto r = ParseCsv("a,b\n1,2\n3,4\n");
+  ASSERT_TRUE(r.ok());
+  const DataFrame& f = r.value();
+  EXPECT_EQ(f.NumRows(), 2);
+  EXPECT_EQ(f.NumCols(), 2);
+  EXPECT_DOUBLE_EQ(f.At(1, 1), 4.0);
+}
+
+TEST(CsvTest, EmptyInputIsError) {
+  EXPECT_FALSE(ParseCsv("").ok());
+}
+
+TEST(CsvTest, RaggedRowIsError) {
+  EXPECT_FALSE(ParseCsv("a,b\n1\n").ok());
+}
+
+TEST(CsvTest, SkipsBlankLines) {
+  auto r = ParseCsv("a\n1\n\n2\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().NumRows(), 2);
+}
+
+TEST(CsvTest, TrimsWhitespaceAndCr) {
+  auto r = ParseCsv("a, b\r\n 1 , 2 \r\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().Name(1), "b");
+  EXPECT_DOUBLE_EQ(r.value().At(0, 1), 2.0);
+}
+
+TEST(CsvTest, CategoricalColumnEncoded) {
+  auto r = ParseCsv("color,v\nred,1\nblue,2\nred,3\n");
+  ASSERT_TRUE(r.ok());
+  const DataFrame& f = r.value();
+  EXPECT_DOUBLE_EQ(f.At(0, 0), 0.0);  // red → 0
+  EXPECT_DOUBLE_EQ(f.At(1, 0), 1.0);  // blue → 1
+  EXPECT_DOUBLE_EQ(f.At(2, 0), 0.0);  // red again → 0
+}
+
+TEST(CsvTest, ScientificNotationParses) {
+  auto r = ParseCsv("x\n1e-3\n-2.5E2\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().At(0, 0), 1e-3);
+  EXPECT_DOUBLE_EQ(r.value().At(1, 0), -250.0);
+}
+
+TEST(CsvTest, WriteReadRoundTrip) {
+  DataFrame f;
+  ASSERT_TRUE(f.AddColumn("x", {1.5, -2.25}).ok());
+  ASSERT_TRUE(f.AddColumn("y", {3.0, 4.0}).ok());
+  auto r = ParseCsv(WriteCsv(f));
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().At(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(r.value().At(1, 0), -2.25);
+  EXPECT_EQ(r.value().Name(1), "y");
+}
+
+TEST(CsvTest, FileRoundTripAndDatasetLoad) {
+  std::string path = testing::TempDir() + "/fastft_csv_test.csv";
+  DataFrame f;
+  ASSERT_TRUE(f.AddColumn("f0", {0.1, 0.2, 0.3, 0.4}).ok());
+  ASSERT_TRUE(f.AddColumn("label", {0, 1, 0, 1}).ok());
+  ASSERT_TRUE(WriteCsvFile(f, path).ok());
+
+  auto ds = ReadDatasetCsv(path, "label", TaskType::kClassification);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds.value().NumFeatures(), 1);
+  EXPECT_EQ(ds.value().NumRows(), 4);
+  EXPECT_EQ(ds.value().NumClasses(), 2);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsIOError) {
+  auto r = ReadCsvFile("/nonexistent/definitely/not/here.csv");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(CsvTest, MissingLabelColumnIsNotFound) {
+  std::string path = testing::TempDir() + "/fastft_csv_nolabel.csv";
+  std::ofstream(path) << "a,b\n1,2\n";
+  auto r = ReadDatasetCsv(path, "target", TaskType::kClassification);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fastft

@@ -1,0 +1,134 @@
+// Tests for the downstream-task evaluator.
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "ml/evaluator.h"
+
+namespace fastft {
+namespace {
+
+Dataset Classification(int n = 200, uint64_t seed = 9) {
+  SyntheticSpec spec;
+  spec.samples = n;
+  spec.features = 8;
+  spec.seed = seed;
+  return MakeClassification(spec);
+}
+
+TEST(EvaluatorTest, ScoreInUnitInterval) {
+  Evaluator evaluator;
+  double score = evaluator.Evaluate(Classification());
+  EXPECT_GE(score, 0.0);
+  EXPECT_LE(score, 1.0);
+}
+
+TEST(EvaluatorTest, BetterThanChanceOnLearnableData) {
+  Evaluator evaluator;
+  EXPECT_GT(evaluator.Evaluate(Classification(400)), 0.55);
+}
+
+TEST(EvaluatorTest, DeterministicGivenSeed) {
+  EvaluatorConfig ec;
+  ec.seed = 77;
+  Evaluator a(ec), b(ec);
+  Dataset ds = Classification();
+  EXPECT_DOUBLE_EQ(a.Evaluate(ds), b.Evaluate(ds));
+}
+
+TEST(EvaluatorTest, CountsEvaluations) {
+  Evaluator evaluator;
+  Dataset ds = Classification();
+  EXPECT_EQ(evaluator.evaluation_count(), 0);
+  evaluator.Evaluate(ds);
+  evaluator.Evaluate(ds);
+  EXPECT_EQ(evaluator.evaluation_count(), 2);
+}
+
+TEST(EvaluatorTest, RegressionUsesRaeByDefault) {
+  SyntheticSpec spec;
+  spec.samples = 250;
+  spec.features = 6;
+  Dataset ds = MakeRegression(spec);
+  Evaluator evaluator;
+  double score = evaluator.Evaluate(ds);
+  EXPECT_GE(score, 0.0);
+  EXPECT_LE(score, 1.0);
+}
+
+TEST(EvaluatorTest, DetectionAucBetterThanChance) {
+  SyntheticSpec spec;
+  spec.samples = 400;
+  spec.features = 6;
+  spec.anomaly_rate = 0.15;
+  Dataset ds = MakeDetection(spec);
+  Evaluator evaluator;
+  EXPECT_GT(evaluator.Evaluate(ds), 0.5);
+}
+
+TEST(EvaluatorTest, ExplicitMetricOverride) {
+  Evaluator evaluator;
+  Dataset ds = Classification();
+  double acc = evaluator.Evaluate(ds, Metric::kAccuracy);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+}
+
+TEST(EvaluatorTest, FeatureImportanceMatchesFeatureCount) {
+  Evaluator evaluator;
+  Dataset ds = Classification();
+  std::vector<double> importance = evaluator.FeatureImportance(ds);
+  EXPECT_EQ(static_cast<int>(importance.size()), ds.NumFeatures());
+  double sum = 0;
+  for (double v : importance) {
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+class ModelKindTest : public testing::TestWithParam<ModelKind> {};
+
+TEST_P(ModelKindTest, AllModelFamiliesEvaluate) {
+  EvaluatorConfig ec;
+  ec.model = GetParam();
+  ec.folds = 2;
+  Evaluator evaluator(ec);
+  double score = evaluator.Evaluate(Classification(150));
+  EXPECT_GE(score, 0.0);
+  EXPECT_LE(score, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, ModelKindTest,
+    testing::Values(ModelKind::kRandomForest, ModelKind::kDecisionTree,
+                    ModelKind::kGradientBoosting,
+                    ModelKind::kLogisticRegression, ModelKind::kLinearSvm,
+                    ModelKind::kRidge));
+
+TEST(ModelKindTest, RegressionCapableKinds) {
+  SyntheticSpec spec;
+  spec.samples = 150;
+  Dataset ds = MakeRegression(spec);
+  for (ModelKind kind : {ModelKind::kRandomForest, ModelKind::kDecisionTree,
+                         ModelKind::kGradientBoosting, ModelKind::kRidge}) {
+    EvaluatorConfig ec;
+    ec.model = kind;
+    ec.folds = 2;
+    Evaluator evaluator(ec);
+    double score = evaluator.Evaluate(ds);
+    EXPECT_GE(score, 0.0) << ModelKindName(kind);
+  }
+}
+
+TEST(ModelKindTest, NamesMatchPaperTable) {
+  EXPECT_STREQ(ModelKindName(ModelKind::kRandomForest), "RFC");
+  EXPECT_STREQ(ModelKindName(ModelKind::kGradientBoosting), "XGBC");
+  EXPECT_STREQ(ModelKindName(ModelKind::kLogisticRegression), "LR");
+  EXPECT_STREQ(ModelKindName(ModelKind::kLinearSvm), "SVM-C");
+  EXPECT_STREQ(ModelKindName(ModelKind::kRidge), "Ridge-C");
+  EXPECT_STREQ(ModelKindName(ModelKind::kDecisionTree), "DT-C");
+}
+
+}  // namespace
+}  // namespace fastft

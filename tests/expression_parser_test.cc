@@ -1,0 +1,210 @@
+// Tests for the expression parser and transformation programs.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/expression_parser.h"
+#include "data/synthetic.h"
+
+namespace fastft {
+namespace {
+
+TEST(ParserTest, ParsesLeaf) {
+  auto r = ParseExpression("f3");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(IsLeaf(r.value()));
+  EXPECT_EQ(r.value()->feature, 3);
+}
+
+TEST(ParserTest, ParsesNamedLeaf) {
+  auto r = ParseExpression("Weight", {"Age", "Weight"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->feature, 1);
+}
+
+TEST(ParserTest, LongestNameWins) {
+  auto r = ParseExpression("AgeGroup", {"Age", "AgeGroup"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->feature, 1);
+}
+
+TEST(ParserTest, MultiDigitFeatureIndex) {
+  auto r = ParseExpression("f12");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->feature, 12);
+}
+
+TEST(ParserTest, ParsesUnary) {
+  auto r = ParseExpression("sqrt(f0)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->op, static_cast<int>(OpType::kSqrtAbs));
+  EXPECT_EQ(r.value()->left->feature, 0);
+}
+
+TEST(ParserTest, ParsesBinary) {
+  auto r = ParseExpression("(f0*f1)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->op, static_cast<int>(OpType::kMul));
+}
+
+TEST(ParserTest, ParsesNested) {
+  auto r = ParseExpression("((f0+f1)/log(f2))");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(ExprToString(r.value()), "((f0+f1)/log(f2))");
+  EXPECT_EQ(r.value()->depth, 3);
+}
+
+TEST(ParserTest, ToleratesWhitespace) {
+  auto r = ParseExpression("  ( f0 + f1 )  ");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(ExprToString(r.value()), "(f0+f1)");
+}
+
+TEST(ParserTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseExpression("").ok());
+  EXPECT_FALSE(ParseExpression("(f0+f1").ok());       // missing ')'
+  EXPECT_FALSE(ParseExpression("f0 f1").ok());        // trailing tokens
+  EXPECT_FALSE(ParseExpression("sqrt(f0").ok());      // missing ')'
+  EXPECT_FALSE(ParseExpression("(f0 f1)").ok());      // missing operator
+  EXPECT_FALSE(ParseExpression("notafeature").ok());  // unknown leaf
+  EXPECT_FALSE(ParseExpression("f").ok());            // no digits
+}
+
+// Property: ToString → Parse → ToString is the identity on random trees.
+class RoundTripTest : public testing::TestWithParam<int> {};
+
+ExprPtr RandomTree(int depth, Rng* rng) {
+  if (depth <= 1 || rng->Bernoulli(0.3)) {
+    return MakeLeaf(rng->UniformInt(20));
+  }
+  OpType op = OpFromIndex(rng->UniformInt(kNumOperations));
+  if (IsUnary(op)) return MakeUnary(op, RandomTree(depth - 1, rng));
+  return MakeBinary(op, RandomTree(depth - 1, rng),
+                    RandomTree(depth - 1, rng));
+}
+
+TEST_P(RoundTripTest, ToStringParseIdentity) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 25; ++trial) {
+    ExprPtr tree = RandomTree(5, &rng);
+    std::string text = ExprToString(tree);
+    auto parsed = ParseExpression(text);
+    ASSERT_TRUE(parsed.ok()) << text << ": " << parsed.status().ToString();
+    EXPECT_EQ(ExprToString(parsed.value()), text);
+    EXPECT_EQ(ExprHash(parsed.value()), ExprHash(tree)) << text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripTest, testing::Values(1, 2, 3, 4));
+
+Dataset SmallDataset() {
+  SyntheticSpec spec;
+  spec.samples = 60;
+  spec.features = 5;
+  spec.seed = 44;
+  return MakeClassification(spec);
+}
+
+TEST(ProgramTest, ApplyAddsNamedColumns) {
+  TransformationProgram program(
+      {MakeBinary(OpType::kMul, MakeLeaf(0), MakeLeaf(1)),
+       MakeUnary(OpType::kSquare, MakeLeaf(2))});
+  Dataset ds = SmallDataset();
+  auto out = program.Apply(ds);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().NumFeatures(), ds.NumFeatures() + 2);
+  EXPECT_EQ(out.value().features.Name(ds.NumFeatures()), "(f0*f1)");
+  // Values match direct evaluation.
+  for (int r = 0; r < 5; ++r) {
+    EXPECT_DOUBLE_EQ(out.value().features.At(r, ds.NumFeatures()),
+                     ApplyBinary(OpType::kMul, ds.features.At(r, 0),
+                                 ds.features.At(r, 1)));
+  }
+}
+
+TEST(ProgramTest, ApplyRejectsOutOfRangeFeatures) {
+  TransformationProgram program({MakeLeaf(99)});
+  auto out = program.Apply(SmallDataset());
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ProgramTest, SerializeDeserializeRoundTrip) {
+  TransformationProgram program(
+      {MakeBinary(OpType::kDiv, MakeUnary(OpType::kLog1pAbs, MakeLeaf(3)),
+                  MakeLeaf(1)),
+       MakeLeaf(0)});
+  auto loaded = TransformationProgram::Deserialize(program.Serialize());
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), 2);
+  EXPECT_EQ(ExprToString(loaded.value().expressions()[0]),
+            ExprToString(program.expressions()[0]));
+}
+
+TEST(ProgramTest, DeserializeSkipsCommentsAndBlanks) {
+  auto loaded = TransformationProgram::Deserialize(
+      "# comment\n\n(f0+f1)\n   \nsquare(f2)\n");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 2);
+}
+
+TEST(ProgramTest, FileRoundTrip) {
+  std::string path = testing::TempDir() + "/fastft_program_test.txt";
+  TransformationProgram program({MakeUnary(OpType::kTanh, MakeLeaf(2))});
+  ASSERT_TRUE(program.SaveToFile(path).ok());
+  auto loaded = TransformationProgram::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 1);
+  std::remove(path.c_str());
+}
+
+TEST(ProgramTest, FromTransformedDatasetTrainApplyParity) {
+  // Train on one dataset, extract the program, apply to *new* rows from the
+  // same schema, and verify the columns are computed identically.
+  Dataset train = SmallDataset();
+  std::vector<std::string> names;
+  for (int c = 0; c < train.NumFeatures(); ++c) {
+    names.push_back(train.features.Name(c));
+  }
+  // Simulate a transformed dataset with engine-style column names.
+  Dataset transformed = train;
+  std::vector<std::vector<double>> cols;
+  for (int c = 0; c < train.NumFeatures(); ++c) {
+    cols.push_back(train.features.Col(c));
+  }
+  ExprPtr expr = MakeBinary(OpType::kSub, MakeLeaf(4), MakeLeaf(2));
+  ASSERT_TRUE(transformed.features
+                  .AddColumn(ExprToString(expr, names), EvalExpr(expr, cols))
+                  .ok());
+
+  auto program = TransformationProgram::FromTransformedDataset(
+      transformed, train.NumFeatures(), names);
+  ASSERT_TRUE(program.ok());
+  ASSERT_EQ(program.value().size(), 1);
+
+  SyntheticSpec spec;
+  spec.samples = 40;
+  spec.features = 5;
+  spec.seed = 45;  // fresh rows, same schema
+  Dataset fresh = MakeClassification(spec);
+  auto applied = program.value().Apply(fresh);
+  ASSERT_TRUE(applied.ok());
+  int new_col = fresh.NumFeatures();
+  for (int r = 0; r < fresh.NumRows(); ++r) {
+    EXPECT_DOUBLE_EQ(applied.value().features.At(r, new_col),
+                     fresh.features.At(r, 4) - fresh.features.At(r, 2));
+  }
+}
+
+TEST(ProgramTest, EmptyProgramIsIdentity) {
+  TransformationProgram program;
+  Dataset ds = SmallDataset();
+  auto out = program.Apply(ds);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().NumFeatures(), ds.NumFeatures());
+}
+
+}  // namespace
+}  // namespace fastft

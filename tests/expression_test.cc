@@ -1,0 +1,150 @@
+// Tests for expression trees and the tokenizer.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/expression.h"
+#include "core/tokenizer.h"
+
+namespace fastft {
+namespace {
+
+TEST(ExpressionTest, LeafProperties) {
+  ExprPtr leaf = MakeLeaf(3);
+  EXPECT_TRUE(IsLeaf(leaf));
+  EXPECT_EQ(leaf->feature, 3);
+  EXPECT_EQ(leaf->depth, 1);
+  EXPECT_EQ(leaf->node_count, 1);
+  EXPECT_EQ(ExprToString(leaf), "f3");
+}
+
+TEST(ExpressionTest, NamedLeaves) {
+  ExprPtr leaf = MakeLeaf(1);
+  EXPECT_EQ(ExprToString(leaf, {"age", "weight"}), "weight");
+}
+
+TEST(ExpressionTest, UnaryAndBinaryComposition) {
+  ExprPtr expr = MakeBinary(OpType::kMul, MakeUnary(OpType::kSqrtAbs,
+                                                    MakeLeaf(0)),
+                            MakeLeaf(1));
+  EXPECT_FALSE(IsLeaf(expr));
+  EXPECT_EQ(expr->depth, 3);
+  EXPECT_EQ(expr->node_count, 4);
+  EXPECT_EQ(ExprToString(expr), "(sqrt(f0)*f1)");
+}
+
+TEST(ExpressionTest, EvalMatchesManualComputation) {
+  std::vector<std::vector<double>> cols = {{1, 4, 9}, {2, 2, 2}};
+  ExprPtr expr = MakeBinary(OpType::kAdd, MakeUnary(OpType::kSqrtAbs,
+                                                    MakeLeaf(0)),
+                            MakeLeaf(1));
+  std::vector<double> v = EvalExpr(expr, cols);
+  EXPECT_DOUBLE_EQ(v[0], 3.0);
+  EXPECT_DOUBLE_EQ(v[1], 4.0);
+  EXPECT_DOUBLE_EQ(v[2], 5.0);
+}
+
+TEST(ExpressionTest, HashDistinguishesStructure) {
+  ExprPtr a = MakeBinary(OpType::kSub, MakeLeaf(0), MakeLeaf(1));
+  ExprPtr b = MakeBinary(OpType::kSub, MakeLeaf(1), MakeLeaf(0));
+  ExprPtr c = MakeBinary(OpType::kSub, MakeLeaf(0), MakeLeaf(1));
+  EXPECT_NE(ExprHash(a), ExprHash(b));  // order-sensitive
+  EXPECT_EQ(ExprHash(a), ExprHash(c));  // structural equality
+  EXPECT_NE(ExprHash(a), ExprHash(MakeLeaf(0)));
+}
+
+TEST(ExpressionTest, HashDistinguishesOps) {
+  ExprPtr add = MakeBinary(OpType::kAdd, MakeLeaf(0), MakeLeaf(1));
+  ExprPtr mul = MakeBinary(OpType::kMul, MakeLeaf(0), MakeLeaf(1));
+  EXPECT_NE(ExprHash(add), ExprHash(mul));
+}
+
+TEST(ExpressionTest, PostfixOrdering) {
+  // (f0 + f1) * sqrt(f2) → postfix: f0 f1 + f2 sqrt *
+  ExprPtr expr = MakeBinary(
+      OpType::kMul, MakeBinary(OpType::kAdd, MakeLeaf(0), MakeLeaf(1)),
+      MakeUnary(OpType::kSqrtAbs, MakeLeaf(2)));
+  std::vector<PostfixItem> items;
+  AppendPostfix(expr, &items);
+  ASSERT_EQ(items.size(), 6u);
+  EXPECT_FALSE(items[0].is_op);
+  EXPECT_EQ(items[0].index, 0);
+  EXPECT_TRUE(items[2].is_op);
+  EXPECT_EQ(items[2].index, static_cast<int>(OpType::kAdd));
+  EXPECT_TRUE(items[5].is_op);
+  EXPECT_EQ(items[5].index, static_cast<int>(OpType::kMul));
+}
+
+TEST(TokenizerTest, SpecialsReserved) {
+  Tokenizer tok;
+  EXPECT_EQ(Tokenizer::kPad, 0);
+  EXPECT_LT(Tokenizer::kSep, Tokenizer::kNumSpecials);
+  EXPECT_GE(tok.OpToken(0), Tokenizer::kNumSpecials);
+  EXPECT_GE(tok.FeatureToken(0), Tokenizer::kNumSpecials + kNumOperations);
+  EXPECT_LT(tok.FeatureToken(47), tok.vocab_size());
+}
+
+TEST(TokenizerTest, FeatureBucketsFold) {
+  Tokenizer tok(/*feature_buckets=*/8);
+  EXPECT_EQ(tok.FeatureToken(0), tok.FeatureToken(8));
+  EXPECT_NE(tok.FeatureToken(0), tok.FeatureToken(7));
+}
+
+TEST(TokenizerTest, EncodeExprMapsPostfix) {
+  Tokenizer tok;
+  ExprPtr expr = MakeBinary(OpType::kAdd, MakeLeaf(0), MakeLeaf(1));
+  std::vector<int> tokens = tok.EncodeExpr(expr);
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], tok.FeatureToken(0));
+  EXPECT_EQ(tokens[1], tok.FeatureToken(1));
+  EXPECT_EQ(tokens[2], tok.OpToken(static_cast<int>(OpType::kAdd)));
+}
+
+TEST(TokenizerTest, FeatureSetFraming) {
+  Tokenizer tok;
+  std::vector<ExprPtr> exprs = {MakeLeaf(0),
+                                MakeUnary(OpType::kSquare, MakeLeaf(1))};
+  std::vector<int> tokens = tok.EncodeFeatureSet(exprs);
+  EXPECT_EQ(tokens.front(), Tokenizer::kBos);
+  EXPECT_EQ(tokens.back(), Tokenizer::kEos);
+  int seps = 0;
+  for (int t : tokens) seps += (t == Tokenizer::kSep);
+  EXPECT_EQ(seps, 1);
+}
+
+TEST(TokenizerTest, EmptySetIsBosEos) {
+  Tokenizer tok;
+  std::vector<int> tokens = tok.EncodeFeatureSet({});
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], Tokenizer::kBos);
+  EXPECT_EQ(tokens[1], Tokenizer::kEos);
+}
+
+TEST(TokenizerTest, TruncatesToMaxLength) {
+  Tokenizer tok(/*feature_buckets=*/8, /*max_length=*/16);
+  std::vector<ExprPtr> exprs;
+  ExprPtr big = MakeLeaf(0);
+  for (int i = 0; i < 40; ++i) {
+    big = MakeBinary(OpType::kAdd, big, MakeLeaf(i % 8));
+  }
+  exprs.push_back(big);
+  exprs.push_back(big);
+  std::vector<int> tokens = tok.EncodeFeatureSet(exprs);
+  EXPECT_LE(static_cast<int>(tokens.size()), 16);
+  EXPECT_EQ(tokens.back(), Tokenizer::kEos);
+}
+
+TEST(TokenizerTest, AllTokensWithinVocab) {
+  Tokenizer tok(8, 64);
+  std::vector<ExprPtr> exprs = {
+      MakeBinary(OpType::kDiv, MakeUnary(OpType::kLog1pAbs, MakeLeaf(13)),
+                 MakeLeaf(29))};
+  for (int t : tok.EncodeFeatureSet(exprs)) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, tok.vocab_size());
+  }
+}
+
+}  // namespace
+}  // namespace fastft

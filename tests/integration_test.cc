@@ -1,0 +1,173 @@
+// Cross-module integration and property tests.
+//
+// These exercise invariants that span modules: the FeatureSpace's hygiene
+// guarantees under random operation storms, and the full train → extract
+// program → re-apply loop over engine output.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/engine.h"
+#include "core/expression_parser.h"
+#include "data/synthetic.h"
+
+namespace fastft {
+namespace {
+
+Dataset SmallDataset(uint64_t seed = 71) {
+  SyntheticSpec spec;
+  spec.samples = 120;
+  spec.features = 6;
+  spec.seed = seed;
+  return MakeClassification(spec);
+}
+
+// Property: after any sequence of random crossings, the FeatureSpace
+// invariants hold — budget respected, originals intact, all values finite,
+// every column name parses back to an expression evaluating to the column.
+class FeatureSpaceStormTest : public testing::TestWithParam<int> {};
+
+TEST_P(FeatureSpaceStormTest, InvariantsSurviveRandomOperations) {
+  Dataset ds = SmallDataset(100 + GetParam());
+  FeatureSpaceConfig cfg;
+  cfg.max_features = 20;
+  FeatureSpace space(ds, cfg);
+  Rng rng(GetParam());
+
+  for (int step = 0; step < 40; ++step) {
+    OpType op = OpFromIndex(rng.UniformInt(kNumOperations));
+    std::vector<int> head = {rng.UniformInt(space.NumColumns())};
+    std::vector<int> tail;
+    if (!IsUnary(op)) tail = {rng.UniformInt(space.NumColumns())};
+    space.ApplyOperation(op, head, tail, &rng);
+
+    // Budget and originals.
+    ASSERT_LE(space.NumColumns(), cfg.max_features);
+    ASSERT_EQ(space.NumOriginals(), ds.NumFeatures());
+    for (int c = 0; c < ds.NumFeatures(); ++c) {
+      ASSERT_TRUE(IsLeaf(space.Expression(c)));
+    }
+  }
+
+  // Finiteness and name → expression → values consistency.
+  std::vector<std::vector<double>> originals;
+  std::vector<std::string> names;
+  for (int c = 0; c < ds.NumFeatures(); ++c) {
+    originals.push_back(ds.features.Col(c));
+    names.push_back(ds.features.Name(c));
+  }
+  for (int c = 0; c < space.NumColumns(); ++c) {
+    const std::vector<double>& values = space.Values(c);
+    for (double v : values) ASSERT_TRUE(std::isfinite(v));
+
+    auto parsed = ParseExpression(space.ColumnName(c), names);
+    ASSERT_TRUE(parsed.ok()) << space.ColumnName(c);
+    std::vector<double> recomputed = EvalExpr(parsed.value(), originals);
+    // Recomputation matches up to the sanitizer's non-finite repair.
+    int matches = 0;
+    for (size_t r = 0; r < values.size(); ++r) {
+      matches += std::abs(values[r] - recomputed[r]) < 1e-9 ||
+                 !std::isfinite(recomputed[r]);
+    }
+    EXPECT_EQ(matches, static_cast<int>(values.size()))
+        << space.ColumnName(c);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FeatureSpaceStormTest,
+                         testing::Values(1, 2, 3, 4, 5));
+
+TEST(EngineProgramTest, ExtractApplyParityOnFreshRows) {
+  Dataset train = SmallDataset(7);
+  EngineConfig cfg;
+  cfg.episodes = 5;
+  cfg.steps_per_episode = 5;
+  cfg.cold_start_episodes = 2;
+  cfg.evaluator.folds = 2;
+  cfg.seed = 13;
+  EngineResult result = FastFtEngine(cfg).Run(train);
+
+  std::vector<std::string> names;
+  for (int c = 0; c < train.NumFeatures(); ++c) {
+    names.push_back(train.features.Name(c));
+  }
+  auto program = TransformationProgram::FromTransformedDataset(
+      result.best_dataset, train.NumFeatures(), names);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_EQ(program.value().size(),
+            result.best_dataset.NumFeatures() - train.NumFeatures());
+
+  // Serialization round-trips the whole program.
+  auto reloaded =
+      TransformationProgram::Deserialize(program.value().Serialize());
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded.value().size(), program.value().size());
+
+  // Applying to fresh rows with the same schema works and names match.
+  Dataset fresh = SmallDataset(8);
+  auto applied = reloaded.value().Apply(fresh);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_EQ(applied.value().NumFeatures(),
+            fresh.NumFeatures() + program.value().size());
+  EXPECT_TRUE(applied.value().Validate().ok());
+}
+
+TEST(EngineProgramTest, AppliedColumnsMatchEngineColumnsOnTrainRows) {
+  Dataset train = SmallDataset(9);
+  EngineConfig cfg;
+  cfg.episodes = 4;
+  cfg.steps_per_episode = 4;
+  cfg.cold_start_episodes = 2;
+  cfg.evaluator.folds = 2;
+  cfg.seed = 17;
+  EngineResult result = FastFtEngine(cfg).Run(train);
+
+  std::vector<std::string> names;
+  for (int c = 0; c < train.NumFeatures(); ++c) {
+    names.push_back(train.features.Name(c));
+  }
+  auto program = TransformationProgram::FromTransformedDataset(
+      result.best_dataset, train.NumFeatures(), names);
+  ASSERT_TRUE(program.ok());
+  auto applied = program.value().Apply(train);
+  ASSERT_TRUE(applied.ok());
+  ASSERT_EQ(applied.value().NumFeatures(),
+            result.best_dataset.NumFeatures());
+  // The re-applied columns equal the engine's columns (up to the
+  // sanitizer's median repair of non-finite entries).
+  for (int c = train.NumFeatures(); c < result.best_dataset.NumFeatures();
+       ++c) {
+    int agreements = 0;
+    for (int r = 0; r < train.NumRows(); ++r) {
+      agreements += std::abs(applied.value().features.At(r, c) -
+                             result.best_dataset.features.At(r, c)) < 1e-9;
+    }
+    EXPECT_GE(agreements, train.NumRows() * 9 / 10)
+        << result.best_dataset.features.Name(c);
+  }
+}
+
+TEST(EndToEndTest, FullLoopImprovesAcrossAllTasks) {
+  for (TaskType task : {TaskType::kClassification, TaskType::kRegression,
+                        TaskType::kDetection}) {
+    SyntheticSpec spec;
+    spec.samples = 160;
+    spec.features = 6;
+    spec.seed = 64;
+    Dataset ds = MakeSynthetic(task, spec);
+    EngineConfig cfg;
+    cfg.episodes = 6;
+    cfg.steps_per_episode = 6;
+    cfg.cold_start_episodes = 2;
+    cfg.evaluator.folds = 2;
+    cfg.seed = 21;
+    EngineResult r = FastFtEngine(cfg).Run(ds);
+    EXPECT_GE(r.best_score, r.base_score) << TaskTypeCode(task);
+    EXPECT_TRUE(r.best_dataset.Validate().ok());
+  }
+}
+
+}  // namespace
+}  // namespace fastft

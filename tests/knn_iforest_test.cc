@@ -1,0 +1,182 @@
+// Tests for the k-NN model and the Isolation Forest detector.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "ml/evaluator.h"
+#include "ml/isolation_forest.h"
+#include "ml/knn.h"
+#include "ml/metrics.h"
+
+namespace fastft {
+namespace {
+
+TEST(KnnTest, ClassifiesSeparatedClusters) {
+  Rng rng(1);
+  Rows x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    int cls = rng.UniformInt(2);
+    x.push_back({cls * 4.0 + rng.Normal(0, 0.5), rng.Normal(0, 0.5)});
+    y.push_back(cls);
+  }
+  Knn knn;
+  knn.Fit(x, y);
+  EXPECT_GT(Accuracy(y, knn.Predict(x)), 0.95);
+}
+
+TEST(KnnTest, RegressionAveragesNeighbours) {
+  Rng rng(2);
+  Rows x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    double a = rng.Uniform(-2, 2);
+    x.push_back({a});
+    y.push_back(2.0 * a);
+  }
+  KnnConfig kc;
+  kc.regression = true;
+  kc.k = 3;
+  Knn knn(kc);
+  knn.Fit(x, y);
+  EXPECT_GT(OneMinusRae(y, knn.Predict(x)), 0.9);
+}
+
+TEST(KnnTest, ScoreIsNeighbourFraction) {
+  Rows x = {{0}, {0.1}, {0.2}, {5}, {5.1}, {5.2}};
+  std::vector<double> y = {0, 0, 0, 1, 1, 1};
+  KnnConfig kc;
+  kc.k = 3;
+  Knn knn(kc);
+  knn.Fit(x, y);
+  std::vector<double> s = knn.PredictScore({{0.05}, {5.05}});
+  EXPECT_DOUBLE_EQ(s[0], 0.0);
+  EXPECT_DOUBLE_EQ(s[1], 1.0);
+}
+
+TEST(KnnTest, KLargerThanTrainingSetClamped) {
+  Rows x = {{0}, {1}};
+  std::vector<double> y = {0, 1};
+  KnnConfig kc;
+  kc.k = 50;
+  Knn knn(kc);
+  knn.Fit(x, y);
+  EXPECT_EQ(knn.Predict({{0.2}}).size(), 1u);
+}
+
+TEST(KnnTest, StandardizationMakesScalesComparable) {
+  // Feature 1 is the signal but tiny in raw scale; feature 0 is huge noise.
+  Rng rng(3);
+  Rows x;
+  std::vector<double> y;
+  for (int i = 0; i < 300; ++i) {
+    int cls = rng.UniformInt(2);
+    x.push_back({rng.Normal(0, 1000.0), cls * 0.01 + rng.Normal(0, 0.002)});
+    y.push_back(cls);
+  }
+  Knn knn;
+  knn.Fit(x, y);
+  EXPECT_GT(Accuracy(y, knn.Predict(x)), 0.9);
+}
+
+TEST(IsolationNormalizerTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(IsolationNormalizer(1), 0.0);
+  // c(2) = 2·H(1) − 2·(1/2)·2 = 2γ − 1.
+  EXPECT_NEAR(IsolationNormalizer(2), 2 * 0.5772156649 - 1.0, 1e-6);
+  EXPECT_GT(IsolationNormalizer(256), IsolationNormalizer(16));
+}
+
+TEST(IsolationForestTest, OutliersScoreHigher) {
+  Rng rng(4);
+  Rows x;
+  for (int i = 0; i < 400; ++i) {
+    x.push_back({rng.Normal(), rng.Normal()});
+  }
+  // Clear outliers.
+  x.push_back({12.0, -12.0});
+  x.push_back({-15.0, 14.0});
+  IsolationForest forest;
+  forest.Fit(x, {});
+  std::vector<double> scores = forest.PredictScore(x);
+  double inlier_mean = 0.0;
+  for (int i = 0; i < 400; ++i) inlier_mean += scores[i] / 400.0;
+  EXPECT_GT(scores[400], inlier_mean + 0.1);
+  EXPECT_GT(scores[401], inlier_mean + 0.1);
+}
+
+TEST(IsolationForestTest, ScoresInUnitInterval) {
+  Rng rng(5);
+  Rows x;
+  for (int i = 0; i < 100; ++i) x.push_back({rng.Normal(), rng.Normal()});
+  IsolationForest forest;
+  forest.Fit(x, {});
+  for (double s : forest.PredictScore(x)) {
+    EXPECT_GT(s, 0.0);
+    EXPECT_LT(s, 1.0);
+  }
+}
+
+TEST(IsolationForestTest, DeterministicGivenSeed) {
+  Rng rng(6);
+  Rows x;
+  for (int i = 0; i < 80; ++i) x.push_back({rng.Normal()});
+  IsolationForestConfig cfg;
+  cfg.seed = 9;
+  IsolationForest a(cfg), b(cfg);
+  a.Fit(x, {});
+  b.Fit(x, {});
+  EXPECT_EQ(a.PredictScore(x), b.PredictScore(x));
+}
+
+TEST(IsolationForestTest, ConstantDataHandled) {
+  Rows x(50, {3.0, 3.0});
+  IsolationForest forest;
+  forest.Fit(x, {});
+  std::vector<double> s = forest.PredictScore(x);
+  for (double v : s) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(IsolationForestTest, DetectsSyntheticAnomaliesAboveChance) {
+  SyntheticSpec spec;
+  spec.samples = 500;
+  spec.features = 6;
+  spec.anomaly_rate = 0.1;
+  spec.label_noise = 0.0;
+  spec.seed = 8;
+  Dataset ds = MakeDetection(spec);
+  IsolationForest forest;
+  forest.Fit(ds.features.ToRows(), {});
+  double auc = AucFromScores(ds.labels, forest.PredictScore(ds.features.ToRows()));
+  EXPECT_GT(auc, 0.5);
+}
+
+TEST(EvaluatorIntegrationTest, KnnAndIForestThroughEvaluator) {
+  SyntheticSpec spec;
+  spec.samples = 200;
+  spec.features = 6;
+  Dataset classification = MakeClassification(spec);
+  EvaluatorConfig kc;
+  kc.model = ModelKind::kKnn;
+  kc.folds = 2;
+  double knn_score = Evaluator(kc).Evaluate(classification);
+  EXPECT_GE(knn_score, 0.0);
+  EXPECT_LE(knn_score, 1.0);
+
+  spec.anomaly_rate = 0.12;
+  Dataset detection = MakeDetection(spec);
+  EvaluatorConfig ic;
+  ic.model = ModelKind::kIsolationForest;
+  ic.folds = 2;
+  double iforest_auc = Evaluator(ic).Evaluate(detection);
+  EXPECT_GE(iforest_auc, 0.0);
+  EXPECT_LE(iforest_auc, 1.0);
+
+  EXPECT_STREQ(ModelKindName(ModelKind::kKnn), "KNN");
+  EXPECT_STREQ(ModelKindName(ModelKind::kIsolationForest), "IForest");
+}
+
+}  // namespace
+}  // namespace fastft

@@ -1,0 +1,164 @@
+// Tests for logistic regression, ridge, and linear SVM.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "ml/linear_models.h"
+#include "ml/metrics.h"
+
+namespace fastft {
+namespace {
+
+// Linearly separable binary data: label = (2*x0 - x1 > 0).
+void MakeLinear(int n, Rows* x, std::vector<double>* y, uint64_t seed = 2) {
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    double a = rng.Uniform(-1, 1);
+    double b = rng.Uniform(-1, 1);
+    x->push_back({a, b});
+    y->push_back(2 * a - b > 0 ? 1.0 : 0.0);
+  }
+}
+
+TEST(StandardizerTest, NormalizesTrainStats) {
+  Rows x = {{0, 10}, {2, 20}, {4, 30}};
+  Standardizer st;
+  st.Fit(x);
+  Rows z = st.ApplyAll(x);
+  double mean0 = (z[0][0] + z[1][0] + z[2][0]) / 3;
+  EXPECT_NEAR(mean0, 0.0, 1e-12);
+  EXPECT_NEAR(z[2][1], -z[0][1], 1e-12);  // symmetric around mean
+}
+
+TEST(StandardizerTest, ConstantColumnScaleOne) {
+  Rows x = {{5}, {5}, {5}};
+  Standardizer st;
+  st.Fit(x);
+  EXPECT_DOUBLE_EQ(st.Apply({5})[0], 0.0);
+  EXPECT_DOUBLE_EQ(st.Apply({6})[0], 1.0);  // divided by fallback scale 1
+}
+
+TEST(LogisticTest, SeparableBinary) {
+  Rows x;
+  std::vector<double> y;
+  MakeLinear(300, &x, &y);
+  LogisticRegression lr;
+  lr.Fit(x, y);
+  EXPECT_GT(Accuracy(y, lr.Predict(x)), 0.95);
+}
+
+TEST(LogisticTest, ScoresMonotoneWithMargin) {
+  Rows x;
+  std::vector<double> y;
+  MakeLinear(300, &x, &y);
+  LogisticRegression lr;
+  lr.Fit(x, y);
+  // A deep positive point scores higher than a deep negative point.
+  double pos = lr.PredictScore({{1.0, -1.0}})[0];
+  double neg = lr.PredictScore({{-1.0, 1.0}})[0];
+  EXPECT_GT(pos, 0.9);
+  EXPECT_LT(neg, 0.1);
+}
+
+TEST(LogisticTest, ThreeClasses) {
+  Rng rng(3);
+  Rows x;
+  std::vector<double> y;
+  for (int i = 0; i < 400; ++i) {
+    double a = rng.Uniform(0, 3);
+    x.push_back({a, rng.Normal(0, 0.05)});
+    y.push_back(std::floor(a));
+  }
+  LogisticRegression lr;
+  lr.Fit(x, y);
+  EXPECT_GT(Accuracy(y, lr.Predict(x)), 0.9);
+}
+
+TEST(RidgeSolverTest, SolvesKnownSystem) {
+  // A = [[2,0],[0,4]] (+l2=0 handled by small epsilon), b = [2, 8] → w=[1,2].
+  std::vector<std::vector<double>> a = {{2, 0}, {0, 4}};
+  std::vector<double> w = SolveRidgeSystem(a, {2, 8}, 0.0);
+  EXPECT_NEAR(w[0], 1.0, 1e-9);
+  EXPECT_NEAR(w[1], 2.0, 1e-9);
+}
+
+TEST(RidgeSolverTest, RegularizationShrinks) {
+  std::vector<std::vector<double>> a = {{1.0}};
+  double w0 = SolveRidgeSystem(a, {1.0}, 0.0)[0];
+  double w1 = SolveRidgeSystem(a, {1.0}, 1.0)[0];
+  EXPECT_NEAR(w0, 1.0, 1e-9);
+  EXPECT_NEAR(w1, 0.5, 1e-9);
+}
+
+TEST(RidgeTest, RecoverLinearRegression) {
+  Rng rng(5);
+  Rows x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    double a = rng.Uniform(-1, 1);
+    double b = rng.Uniform(-1, 1);
+    x.push_back({a, b});
+    y.push_back(3 * a - 2 * b + 0.5);
+  }
+  Ridge ridge(/*classification=*/false, {0.001});
+  ridge.Fit(x, y);
+  std::vector<double> pred = ridge.Predict(x);
+  EXPECT_GT(OneMinusMse(y, pred), 0.99);
+}
+
+TEST(RidgeTest, ClassifierOnSeparable) {
+  Rows x;
+  std::vector<double> y;
+  MakeLinear(300, &x, &y);
+  Ridge ridge(/*classification=*/true);
+  ridge.Fit(x, y);
+  EXPECT_GT(Accuracy(y, ridge.Predict(x)), 0.9);
+}
+
+TEST(RidgeTest, ClassifierScoreRanksByClassOne) {
+  Rows x;
+  std::vector<double> y;
+  MakeLinear(200, &x, &y);
+  Ridge ridge(true);
+  ridge.Fit(x, y);
+  std::vector<double> scores = ridge.PredictScore(x);
+  EXPECT_GT(AucFromScores(y, scores), 0.95);
+}
+
+TEST(SvmTest, SeparableBinary) {
+  Rows x;
+  std::vector<double> y;
+  MakeLinear(300, &x, &y);
+  LinearSvm svm;
+  svm.Fit(x, y);
+  EXPECT_GT(Accuracy(y, svm.Predict(x)), 0.95);
+}
+
+TEST(SvmTest, MarginSignMatchesClass) {
+  Rows x;
+  std::vector<double> y;
+  MakeLinear(300, &x, &y);
+  LinearSvm svm;
+  svm.Fit(x, y);
+  EXPECT_GT(svm.PredictScore({{1.0, -1.0}})[0], 0.0);
+  EXPECT_LT(svm.PredictScore({{-1.0, 1.0}})[0], 0.0);
+}
+
+TEST(SvmTest, MulticlassOneVsRest) {
+  Rng rng(6);
+  Rows x;
+  std::vector<double> y;
+  for (int i = 0; i < 300; ++i) {
+    int cls = rng.UniformInt(3);
+    x.push_back({cls * 2.0 + rng.Normal(0, 0.2), rng.Normal(0, 0.2)});
+    y.push_back(cls);
+  }
+  LinearSvm svm;
+  svm.Fit(x, y);
+  EXPECT_GT(Accuracy(y, svm.Predict(x)), 0.9);
+}
+
+}  // namespace
+}  // namespace fastft

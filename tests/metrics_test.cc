@@ -1,0 +1,131 @@
+// Tests for the evaluation metrics.
+
+#include <gtest/gtest.h>
+
+#include "ml/metrics.h"
+
+namespace fastft {
+namespace {
+
+TEST(MetricsTest, AccuracyBasics) {
+  EXPECT_DOUBLE_EQ(Accuracy({0, 1, 1, 0}, {0, 1, 1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy({0, 1, 1, 0}, {1, 0, 0, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(Accuracy({0, 1}, {0, 0}), 0.5);
+}
+
+TEST(MetricsTest, F1PerfectAndWorst) {
+  EXPECT_DOUBLE_EQ(F1Macro({0, 1, 0, 1}, {0, 1, 0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(F1Macro({0, 0, 1, 1}, {1, 1, 0, 0}), 0.0);
+}
+
+TEST(MetricsTest, F1KnownValue) {
+  // Class 0: tp=1 fp=1 fn=1 → p=r=0.5, f1=0.5.
+  // Class 1: tp=1 fp=1 fn=1 → f1=0.5. Macro = 0.5.
+  EXPECT_NEAR(F1Macro({0, 0, 1, 1}, {0, 1, 0, 1}), 0.5, 1e-12);
+}
+
+TEST(MetricsTest, PrecisionRecallAsymmetry) {
+  // truth: one positive; prediction marks everything positive.
+  std::vector<double> truth = {0, 0, 0, 1};
+  std::vector<double> pred = {1, 1, 1, 1};
+  // Class 1: precision 0.25, recall 1.0.
+  EXPECT_NEAR(PrecisionMacro(truth, pred), 0.125, 1e-12);  // class0 p=0
+  EXPECT_NEAR(RecallMacro(truth, pred), 0.5, 1e-12);       // class0 r=0
+}
+
+TEST(MetricsTest, MacroAveragingOverThreeClasses) {
+  std::vector<double> truth = {0, 1, 2, 0, 1, 2};
+  std::vector<double> pred = {0, 1, 2, 0, 1, 1};
+  double f1 = F1Macro(truth, pred);
+  EXPECT_GT(f1, 0.7);
+  EXPECT_LT(f1, 1.0);
+}
+
+TEST(MetricsTest, AucPerfectSeparation) {
+  EXPECT_DOUBLE_EQ(AucFromScores({0, 0, 1, 1}, {0.1, 0.2, 0.8, 0.9}), 1.0);
+  EXPECT_DOUBLE_EQ(AucFromScores({0, 0, 1, 1}, {0.9, 0.8, 0.2, 0.1}), 0.0);
+}
+
+TEST(MetricsTest, AucRandomIsHalf) {
+  EXPECT_DOUBLE_EQ(AucFromScores({0, 1, 0, 1}, {0.5, 0.5, 0.5, 0.5}), 0.5);
+}
+
+TEST(MetricsTest, AucTiesUseMidrank) {
+  // scores: pos {0.5, 0.9}, neg {0.5, 0.1}: one tie pair counts 1/2.
+  double auc = AucFromScores({0, 1, 0, 1}, {0.5, 0.5, 0.1, 0.9});
+  EXPECT_NEAR(auc, (1.0 + 0.5 + 1.0 + 1.0) / 4.0, 1e-12);
+}
+
+TEST(MetricsTest, AucDegenerateSingleClass) {
+  EXPECT_DOUBLE_EQ(AucFromScores({1, 1, 1}, {0.1, 0.2, 0.3}), 0.5);
+}
+
+TEST(MetricsTest, OneMinusRaePerfect) {
+  std::vector<double> y = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(OneMinusRae(y, y), 1.0);
+}
+
+TEST(MetricsTest, OneMinusRaeMeanPredictorIsZero) {
+  std::vector<double> y = {1, 2, 3, 4};
+  std::vector<double> mean_pred(4, 2.5);
+  EXPECT_NEAR(OneMinusRae(y, mean_pred), 0.0, 1e-12);
+}
+
+TEST(MetricsTest, OneMinusRaeClippedAtZero) {
+  std::vector<double> y = {1, 2, 3, 4};
+  std::vector<double> awful = {100, -100, 100, -100};
+  EXPECT_DOUBLE_EQ(OneMinusRae(y, awful), 0.0);
+}
+
+TEST(MetricsTest, OneMinusMaeAndMse) {
+  std::vector<double> y = {0, 0};
+  std::vector<double> p = {0.5, 0.5};
+  EXPECT_DOUBLE_EQ(OneMinusMae(y, p), 0.5);
+  EXPECT_DOUBLE_EQ(OneMinusMse(y, p), 0.75);
+}
+
+TEST(MetricsTest, DefaultMetricPerTask) {
+  EXPECT_EQ(DefaultMetric(TaskType::kClassification), Metric::kF1Macro);
+  EXPECT_EQ(DefaultMetric(TaskType::kRegression), Metric::kOneMinusRae);
+  EXPECT_EQ(DefaultMetric(TaskType::kDetection), Metric::kAuc);
+}
+
+TEST(MetricsTest, ComputeMetricDispatch) {
+  std::vector<double> truth = {0, 1};
+  std::vector<double> pred = {0, 1};
+  EXPECT_DOUBLE_EQ(ComputeMetric(Metric::kAccuracy, truth, pred), 1.0);
+  EXPECT_DOUBLE_EQ(ComputeMetric(Metric::kF1Macro, truth, pred), 1.0);
+  EXPECT_DOUBLE_EQ(ComputeMetric(Metric::kAuc, truth, {0.2, 0.9}), 1.0);
+}
+
+TEST(MetricsTest, NamesAreStable) {
+  EXPECT_STREQ(MetricName(Metric::kF1Macro), "F1");
+  EXPECT_STREQ(MetricName(Metric::kOneMinusRae), "1-RAE");
+  EXPECT_STREQ(MetricName(Metric::kAuc), "AUC");
+}
+
+class MetricRangeTest : public testing::TestWithParam<Metric> {};
+
+TEST_P(MetricRangeTest, AlwaysInUnitInterval) {
+  // Property: every metric stays in [0,1] for arbitrary label/pred pairs.
+  std::vector<std::pair<std::vector<double>, std::vector<double>>> cases = {
+      {{0, 1, 1, 0, 1}, {1, 1, 0, 0, 1}},
+      {{0, 0, 0, 1, 1}, {0, 1, 0, 1, 0}},
+      {{1, 0, 1, 0, 1}, {0.3, 0.6, 0.2, 0.9, 0.5}},
+  };
+  for (const auto& [truth, pred] : cases) {
+    double v = ComputeMetric(GetParam(), truth, pred);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMetrics, MetricRangeTest,
+    testing::Values(Metric::kF1Macro, Metric::kPrecisionMacro,
+                    Metric::kRecallMacro, Metric::kAccuracy, Metric::kAuc,
+                    Metric::kOneMinusRae, Metric::kOneMinusMae,
+                    Metric::kOneMinusMse));
+
+}  // namespace
+}  // namespace fastft

@@ -1,0 +1,251 @@
+// Tests for mutual information estimation and Eq. 2 clustering.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "core/clustering.h"
+#include "core/mutual_information.h"
+#include "data/synthetic.h"
+
+namespace fastft {
+namespace {
+
+TEST(QuantileBinTest, BalancedBins) {
+  std::vector<double> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  std::vector<int> bins = QuantileBin(v, 4);
+  int counts[4] = {0, 0, 0, 0};
+  for (int b : bins) {
+    ASSERT_GE(b, 0);
+    ASSERT_LT(b, 4);
+    ++counts[b];
+  }
+  for (int c : counts) EXPECT_EQ(c, 25);
+}
+
+TEST(QuantileBinTest, TiesStayTogether) {
+  std::vector<double> v = {1, 1, 1, 1, 2, 2, 2, 2};
+  std::vector<int> bins = QuantileBin(v, 4);
+  // All 1s share a bin; all 2s share a bin.
+  for (int i = 1; i < 4; ++i) EXPECT_EQ(bins[i], bins[0]);
+  for (int i = 5; i < 8; ++i) EXPECT_EQ(bins[i], bins[4]);
+  EXPECT_NE(bins[0], bins[4]);
+}
+
+TEST(MiTest, IdenticalVariablesHaveMaxMi) {
+  Rng rng(1);
+  std::vector<double> x(500);
+  for (double& v : x) v = rng.Normal();
+  double self = EstimateMI(x, x, 8);
+  EXPECT_NEAR(self, std::log(8.0), 0.15);  // H(uniform over 8 bins)
+}
+
+TEST(MiTest, IndependentVariablesNearZero) {
+  Rng rng(2);
+  std::vector<double> x(2000), y(2000);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.Normal();
+    y[i] = rng.Normal();
+  }
+  EXPECT_LT(EstimateMI(x, y, 8), 0.05);
+}
+
+TEST(MiTest, MonotoneTransformPreservesMi) {
+  Rng rng(3);
+  std::vector<double> x(1000), y(1000);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.Normal();
+    y[i] = std::exp(x[i]);
+  }
+  // Quantile binning is invariant to monotone transforms.
+  EXPECT_NEAR(EstimateMI(x, y, 8), std::log(8.0), 0.15);
+}
+
+TEST(MiTest, NonNegative) {
+  Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> x(100), y(100);
+    for (size_t i = 0; i < x.size(); ++i) {
+      x[i] = rng.Normal();
+      y[i] = rng.Normal();
+    }
+    EXPECT_GE(EstimateMI(x, y), 0.0);
+  }
+}
+
+TEST(MiTest, LabelRelevanceClassification) {
+  // Feature equal to the class label has high MI; noise has low MI.
+  Rng rng(5);
+  std::vector<double> labels(600), signal(600), noise(600);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = rng.UniformInt(2);
+    signal[i] = labels[i] + rng.Normal(0, 0.05);
+    noise[i] = rng.Normal();
+  }
+  double s = EstimateMIWithLabel(signal, labels, TaskType::kClassification);
+  double n = EstimateMIWithLabel(noise, labels, TaskType::kClassification);
+  EXPECT_GT(s, 5 * n + 0.1);
+}
+
+TEST(MiTest, TopKByRelevancePicksSignal) {
+  SyntheticSpec spec;
+  spec.samples = 300;
+  spec.features = 6;
+  Dataset ds = MakeClassification(spec);
+  // Append a copy of the labels as a feature: it must rank first.
+  DataFrame f = ds.features;
+  ASSERT_TRUE(f.AddColumn("leak", ds.labels).ok());
+  std::vector<int> top = TopKByRelevance(f, ds.labels, ds.task, 3);
+  EXPECT_EQ(top.size(), 3u);
+  EXPECT_TRUE(std::find(top.begin(), top.end(), 6) != top.end());
+}
+
+TEST(ClusteringTest, CoversAllFeaturesDisjointly) {
+  SyntheticSpec spec;
+  spec.samples = 200;
+  spec.features = 10;
+  Dataset ds = MakeClassification(spec);
+  auto clusters = ClusterFeatures(ds.features, ds.labels, ds.task);
+  std::set<int> seen;
+  for (const auto& cluster : clusters) {
+    for (int f : cluster) {
+      EXPECT_TRUE(seen.insert(f).second) << "feature in two clusters";
+    }
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), ds.NumFeatures());
+}
+
+TEST(ClusteringTest, DuplicatedFeaturesMerge) {
+  // Two identical columns are maximally redundant with equal relevance →
+  // distance ~0, so they must merge.
+  Rng rng(6);
+  DataFrame f;
+  std::vector<double> a(300), b(300), labels(300);
+  for (int i = 0; i < 300; ++i) {
+    a[i] = rng.Normal();
+    b[i] = a[i];
+    labels[i] = rng.UniformInt(2);
+  }
+  ASSERT_TRUE(f.AddColumn("a", a).ok());
+  ASSERT_TRUE(f.AddColumn("dup", b).ok());
+  std::vector<double> c(300);
+  for (int i = 0; i < 300; ++i) c[i] = labels[i] + rng.Normal(0, 0.1);
+  ASSERT_TRUE(f.AddColumn("signal", c).ok());
+  ClusteringConfig cfg;
+  cfg.distance_threshold = 2.0;
+  auto clusters = ClusterFeatures(f, labels, TaskType::kClassification, cfg);
+  // Find the cluster holding feature 0; it must also hold feature 1.
+  for (const auto& cluster : clusters) {
+    bool has0 = std::find(cluster.begin(), cluster.end(), 0) != cluster.end();
+    bool has1 = std::find(cluster.begin(), cluster.end(), 1) != cluster.end();
+    if (has0 || has1) {
+      EXPECT_EQ(has0, has1);
+    }
+  }
+}
+
+TEST(ClusteringTest, MinClustersRespected) {
+  SyntheticSpec spec;
+  spec.samples = 150;
+  spec.features = 8;
+  Dataset ds = MakeClassification(spec);
+  ClusteringConfig cfg;
+  cfg.distance_threshold = 1e9;  // merge-everything pressure
+  cfg.min_clusters = 3;
+  auto clusters = ClusterFeatures(ds.features, ds.labels, ds.task, cfg);
+  EXPECT_GE(static_cast<int>(clusters.size()), 3);
+}
+
+TEST(ClusteringTest, MaxClustersCapsActionSpace) {
+  SyntheticSpec spec;
+  spec.samples = 150;
+  spec.features = 20;
+  Dataset ds = MakeClassification(spec);
+  ClusteringConfig cfg;
+  cfg.distance_threshold = 0.0;  // no natural merging
+  cfg.max_clusters = 5;
+  auto clusters = ClusterFeatures(ds.features, ds.labels, ds.task, cfg);
+  EXPECT_LE(static_cast<int>(clusters.size()), 5);
+}
+
+TEST(ClusteringTest, FeatureSpaceOverloadMatchesFrameOverload) {
+  SyntheticSpec spec;
+  spec.samples = 150;
+  spec.features = 8;
+  Dataset ds = MakeClassification(spec);
+  FeatureSpace space(ds);
+  auto a = ClusterFeatures(space);
+  auto b = ClusterFeatures(ds.features, ds.labels, ds.task);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ClusteringTest, SingleFeatureSingleCluster) {
+  DataFrame f;
+  ASSERT_TRUE(f.AddColumn("only", {1, 2, 3, 4, 5}).ok());
+  auto clusters =
+      ClusterFeatures(f, {0, 1, 0, 1, 0}, TaskType::kClassification);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0], std::vector<int>{0});
+}
+
+
+TEST(ClusterModeTest, SingletonModeOneFeaturePerCluster) {
+  SyntheticSpec spec;
+  spec.samples = 100;
+  spec.features = 9;
+  Dataset ds = MakeClassification(spec);
+  ClusteringConfig cfg;
+  cfg.mode = ClusterMode::kSingleton;
+  auto clusters = ClusterFeatures(ds.features, ds.labels, ds.task, cfg);
+  ASSERT_EQ(clusters.size(), 9u);
+  for (const auto& cluster : clusters) EXPECT_EQ(cluster.size(), 1u);
+}
+
+TEST(ClusterModeTest, RandomModePartitionsAllFeatures) {
+  SyntheticSpec spec;
+  spec.samples = 100;
+  spec.features = 12;
+  Dataset ds = MakeClassification(spec);
+  ClusteringConfig cfg;
+  cfg.mode = ClusterMode::kRandom;
+  cfg.max_clusters = 4;
+  auto clusters = ClusterFeatures(ds.features, ds.labels, ds.task, cfg);
+  EXPECT_LE(clusters.size(), 4u);
+  std::set<int> seen;
+  for (const auto& cluster : clusters) {
+    for (int f : cluster) EXPECT_TRUE(seen.insert(f).second);
+  }
+  EXPECT_EQ(seen.size(), 12u);
+}
+
+TEST(ClusterModeTest, RandomModeDeterministicPerSeed) {
+  SyntheticSpec spec;
+  spec.samples = 80;
+  spec.features = 10;
+  Dataset ds = MakeClassification(spec);
+  ClusteringConfig a;
+  a.mode = ClusterMode::kRandom;
+  a.random_seed = 5;
+  ClusteringConfig b = a;
+  EXPECT_EQ(ClusterFeatures(ds.features, ds.labels, ds.task, a),
+            ClusterFeatures(ds.features, ds.labels, ds.task, b));
+  b.random_seed = 6;
+  EXPECT_NE(ClusterFeatures(ds.features, ds.labels, ds.task, a),
+            ClusterFeatures(ds.features, ds.labels, ds.task, b));
+}
+
+TEST(ClusterModeTest, FeatureSpaceOverloadHonorsMode) {
+  SyntheticSpec spec;
+  spec.samples = 80;
+  spec.features = 7;
+  FeatureSpace space(MakeClassification(spec));
+  ClusteringConfig cfg;
+  cfg.mode = ClusterMode::kSingleton;
+  EXPECT_EQ(ClusterFeatures(space, cfg).size(), 7u);
+}
+
+}  // namespace
+}  // namespace fastft

@@ -1,0 +1,105 @@
+// Finite-difference gradient checks for every backbone.
+//
+// The whole evaluation-component stack depends on hand-written backward
+// passes; these tests verify each against central differences through the
+// full SequenceModel loss 0.5*(f(tokens) - target)^2.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "nn/sequence_model.h"
+
+namespace fastft {
+namespace nn {
+namespace {
+
+// Checks d(0.5 err^2)/dθ for a sample of parameter entries.
+void GradCheck(SequenceModel* model, const std::vector<int>& tokens,
+               double target, double tolerance) {
+  // Analytic gradients.
+  for (Parameter* p : model->Params()) p->ZeroGrad();
+  model->TrainStep(tokens, target);
+
+  std::vector<Parameter*> params = model->Params();
+  Rng rng(99);
+  const double h = 1e-6;  // small enough that ReLU-kink crossings are negligible
+  int checked = 0;
+  for (Parameter* p : params) {
+    // Sample a few entries per tensor.
+    int samples = std::min<int>(4, static_cast<int>(p->size()));
+    for (int s = 0; s < samples; ++s) {
+      size_t idx = static_cast<size_t>(rng.UniformInt(
+          static_cast<int>(p->size())));
+      double original = p->value.data()[idx];
+
+      p->value.data()[idx] = original + h;
+      double up = model->Forward(tokens) - target;
+      p->value.data()[idx] = original - h;
+      double down = model->Forward(tokens) - target;
+      p->value.data()[idx] = original;
+
+      double numeric = (0.5 * up * up - 0.5 * down * down) / (2 * h);
+      double analytic = p->grad.data()[idx];
+      // Mixed absolute/relative criterion: tiny gradients are dominated by
+      // floating-point cancellation in the central difference.
+      double bound = 1e-6 + tolerance *
+                                std::max(std::abs(numeric),
+                                         std::abs(analytic));
+      EXPECT_LT(std::abs(numeric - analytic), bound)
+          << "param entry " << idx << " numeric=" << numeric
+          << " analytic=" << analytic;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+SequenceModelConfig TinyConfig(Backbone backbone, uint64_t seed) {
+  SequenceModelConfig config;
+  config.backbone = backbone;
+  config.vocab_size = 12;
+  config.embed_dim = 6;
+  config.hidden_dim = 6;
+  config.num_layers = 2;
+  config.head_dims = {4, 1};
+  config.seed = seed;
+  return config;
+}
+
+TEST(GradCheckTest, Lstm) {
+  SequenceModel model(TinyConfig(Backbone::kLstm, 31));
+  GradCheck(&model, {1, 4, 7, 2, 9, 3}, 0.37, 2e-3);
+}
+
+TEST(GradCheckTest, Rnn) {
+  SequenceModel model(TinyConfig(Backbone::kRnn, 33));
+  GradCheck(&model, {2, 5, 8, 1}, -0.2, 2e-3);
+}
+
+TEST(GradCheckTest, Transformer) {
+  SequenceModel model(TinyConfig(Backbone::kTransformer, 35));
+  GradCheck(&model, {3, 6, 9, 0, 4}, 0.8, 2e-3);
+}
+
+TEST(GradCheckTest, SingleTokenSequence) {
+  SequenceModel model(TinyConfig(Backbone::kLstm, 37));
+  GradCheck(&model, {5}, 0.1, 2e-3);
+}
+
+TEST(GradCheckTest, RepeatedTokensShareEmbeddingGrads) {
+  SequenceModel model(TinyConfig(Backbone::kLstm, 39));
+  GradCheck(&model, {4, 4, 4, 4}, 0.5, 2e-3);
+}
+
+TEST(GradCheckTest, OrthogonalHeadStillDifferentiable) {
+  SequenceModelConfig config = TinyConfig(Backbone::kLstm, 41);
+  config.orthogonal_gain = 16.0;
+  SequenceModel model(config);
+  GradCheck(&model, {1, 2, 3}, 0.0, 2e-3);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace fastft

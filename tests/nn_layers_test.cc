@@ -1,0 +1,203 @@
+// Direct tests for the individual nn layers (shapes, known values, caches).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+#include "nn/mlp.h"
+#include "nn/rnn.h"
+#include "nn/transformer.h"
+
+namespace fastft {
+namespace nn {
+namespace {
+
+TEST(LinearTest, ForwardKnownValues) {
+  Rng rng(1);
+  Linear layer(2, 1, &rng);
+  layer.weight().value(0, 0) = 2.0;
+  layer.weight().value(1, 0) = -1.0;
+  layer.bias().value(0, 0) = 0.5;
+  Matrix x(1, 2);
+  x(0, 0) = 3.0;
+  x(0, 1) = 4.0;
+  Matrix y = layer.Forward(x);
+  EXPECT_DOUBLE_EQ(y(0, 0), 2.0 * 3.0 - 1.0 * 4.0 + 0.5);
+}
+
+TEST(LinearTest, BatchedForward) {
+  Rng rng(2);
+  Linear layer(3, 4, &rng);
+  Matrix x = Matrix::Randn(5, 3, 1.0, &rng);
+  Matrix y = layer.Forward(x);
+  EXPECT_EQ(y.rows(), 5);
+  EXPECT_EQ(y.cols(), 4);
+}
+
+TEST(LinearTest, BackwardShapesAndAccumulation) {
+  Rng rng(3);
+  Linear layer(3, 2, &rng);
+  Matrix x = Matrix::Randn(4, 3, 1.0, &rng);
+  layer.Forward(x);
+  Matrix dy(4, 2, 1.0);
+  Matrix dx = layer.Backward(dy);
+  EXPECT_EQ(dx.rows(), 4);
+  EXPECT_EQ(dx.cols(), 3);
+  double grad_norm_once = layer.weight().grad.Norm();
+  EXPECT_GT(grad_norm_once, 0.0);
+  // Gradients accumulate across Backward calls until zeroed.
+  layer.Forward(x);
+  layer.Backward(dy);
+  EXPECT_NEAR(layer.weight().grad.Norm(), 2.0 * grad_norm_once, 1e-9);
+  layer.weight().ZeroGrad();
+  EXPECT_DOUBLE_EQ(layer.weight().grad.Norm(), 0.0);
+}
+
+TEST(ReluTest, ForwardClampsAndBackwardMasks) {
+  Relu relu;
+  Matrix x(1, 3);
+  x(0, 0) = -2.0;
+  x(0, 1) = 0.0;
+  x(0, 2) = 3.0;
+  Matrix y = relu.Forward(x);
+  EXPECT_DOUBLE_EQ(y(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(y(0, 2), 3.0);
+  Matrix dy(1, 3, 1.0);
+  Matrix dx = relu.Backward(dy);
+  EXPECT_DOUBLE_EQ(dx(0, 0), 0.0);  // negative input: gradient blocked
+  EXPECT_DOUBLE_EQ(dx(0, 1), 0.0);  // zero input: subgradient 0 chosen
+  EXPECT_DOUBLE_EQ(dx(0, 2), 1.0);
+}
+
+TEST(EmbeddingTest, LookupMatchesTable) {
+  Rng rng(4);
+  Embedding emb(10, 4, &rng);
+  Matrix out = emb.Forward({3, 3, 7});
+  EXPECT_EQ(out.rows(), 3);
+  EXPECT_EQ(out.cols(), 4);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_DOUBLE_EQ(out(0, c), out(1, c));  // same id, same row
+  }
+}
+
+TEST(EmbeddingTest, OutOfRangeIdsClamped) {
+  Rng rng(5);
+  Embedding emb(10, 4, &rng);
+  Matrix hi = emb.Forward({99});
+  Matrix top = emb.Forward({9});
+  for (int c = 0; c < 4; ++c) EXPECT_DOUBLE_EQ(hi(0, c), top(0, c));
+  Matrix lo = emb.Forward({-5});
+  Matrix bottom = emb.Forward({0});
+  for (int c = 0; c < 4; ++c) EXPECT_DOUBLE_EQ(lo(0, c), bottom(0, c));
+}
+
+TEST(EmbeddingTest, RepeatedIdsAccumulateGradient) {
+  Rng rng(6);
+  Embedding emb(10, 2, &rng);
+  emb.Forward({5, 5});
+  Matrix dy(2, 2, 1.0);
+  std::vector<Parameter*> params;
+  emb.CollectParams(&params);
+  params[0]->ZeroGrad();
+  emb.Backward(dy);
+  // Row 5 receives the gradient of both positions.
+  EXPECT_DOUBLE_EQ(params[0]->grad(5, 0), 2.0);
+  EXPECT_DOUBLE_EQ(params[0]->grad(4, 0), 0.0);
+}
+
+TEST(LstmTest, OutputShapesAndBoundedness) {
+  Rng rng(7);
+  LstmLayer lstm(4, 6, &rng);
+  Matrix x = Matrix::Randn(10, 4, 1.0, &rng);
+  Matrix h = lstm.Forward(x);
+  EXPECT_EQ(h.rows(), 10);
+  EXPECT_EQ(h.cols(), 6);
+  // h = o * tanh(c): every activation is in (-1, 1).
+  for (int r = 0; r < h.rows(); ++r) {
+    for (int c = 0; c < h.cols(); ++c) {
+      EXPECT_GT(h(r, c), -1.0);
+      EXPECT_LT(h(r, c), 1.0);
+    }
+  }
+}
+
+TEST(LstmTest, StateCarriesAcrossTimesteps) {
+  Rng rng(8);
+  LstmLayer lstm(2, 4, &rng);
+  // Same input at two timesteps → different hidden states (memory).
+  Matrix x(2, 2, 0.7);
+  Matrix h = lstm.Forward(x);
+  bool differs = false;
+  for (int c = 0; c < 4; ++c) differs |= (h(0, c) != h(1, c));
+  EXPECT_TRUE(differs);
+}
+
+TEST(RnnTest, TanhBounded) {
+  Rng rng(9);
+  RnnLayer rnn(3, 5, &rng);
+  Matrix x = Matrix::Randn(8, 3, 3.0, &rng);
+  Matrix h = rnn.Forward(x);
+  for (int r = 0; r < h.rows(); ++r) {
+    for (int c = 0; c < h.cols(); ++c) {
+      EXPECT_GE(h(r, c), -1.0);
+      EXPECT_LE(h(r, c), 1.0);
+    }
+  }
+}
+
+TEST(TransformerTest, PreservesShape) {
+  Rng rng(10);
+  TransformerBlock block(6, &rng);
+  Matrix x = Matrix::Randn(5, 6, 1.0, &rng);
+  Matrix y = block.Forward(x);
+  EXPECT_EQ(y.rows(), 5);
+  EXPECT_EQ(y.cols(), 6);
+}
+
+TEST(TransformerTest, SingleTokenSequenceWorks) {
+  Rng rng(11);
+  TransformerBlock block(4, &rng);
+  Matrix x = Matrix::Randn(1, 4, 1.0, &rng);
+  Matrix y = block.Forward(x);
+  EXPECT_EQ(y.rows(), 1);
+  Matrix dx = block.Backward(Matrix(1, 4, 1.0));
+  EXPECT_EQ(dx.rows(), 1);
+}
+
+TEST(MlpTest, HeadShapes) {
+  Rng rng(12);
+  MlpConfig cfg;
+  cfg.dims = {6, 4, 2, 1};
+  Mlp mlp(cfg, &rng);
+  EXPECT_EQ(mlp.in_dim(), 6);
+  EXPECT_EQ(mlp.out_dim(), 1);
+  Matrix y = mlp.Forward(Matrix::Randn(3, 6, 1.0, &rng));
+  EXPECT_EQ(y.rows(), 3);
+  EXPECT_EQ(y.cols(), 1);
+}
+
+TEST(MlpTest, ParameterBytesMatchesArchitecture) {
+  Rng rng(13);
+  MlpConfig cfg;
+  cfg.dims = {4, 3, 1};
+  Mlp mlp(cfg, &rng);
+  // (4*3 + 3) + (3*1 + 1) = 19 doubles.
+  EXPECT_EQ(mlp.ParameterBytes(), 19u * sizeof(double));
+}
+
+TEST(MemoryAccountingTest, LstmVsRnnPerStepCosts) {
+  Rng rng(14);
+  LstmLayer lstm(8, 8, &rng);
+  RnnLayer rnn(8, 8, &rng);
+  // LSTM caches 4 gates + cell traces; far more per step than the RNN.
+  EXPECT_GT(lstm.ActivationBytes(10), 2 * rnn.ActivationBytes(10));
+  EXPECT_GT(lstm.ParameterBytes(), 3 * rnn.ParameterBytes());
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace fastft

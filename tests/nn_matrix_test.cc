@@ -1,0 +1,173 @@
+// Tests for the nn Matrix type, initializers, and optimizers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "nn/init.h"
+#include "nn/matrix.h"
+#include "nn/optimizer.h"
+
+namespace fastft {
+namespace nn {
+namespace {
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+  EXPECT_FALSE(m.Empty());
+  EXPECT_TRUE(Matrix().Empty());
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  Matrix m(2, 3);
+  int k = 0;
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 3; ++c) m(r, c) = ++k;
+  }
+  Matrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_DOUBLE_EQ(t(2, 1), m(1, 2));
+  Matrix tt = t.Transpose();
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(tt(r, c), m(r, c));
+  }
+}
+
+TEST(MatrixTest, MatMulKnownProduct) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  Matrix b(2, 2);
+  b(0, 0) = 5;
+  b(0, 1) = 6;
+  b(1, 0) = 7;
+  b(1, 1) = 8;
+  Matrix c = a.MatMul(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(MatrixTest, MatMulIdentity) {
+  Rng rng(1);
+  Matrix a = Matrix::Randn(3, 3, 1.0, &rng);
+  Matrix eye(3, 3);
+  for (int i = 0; i < 3; ++i) eye(i, i) = 1.0;
+  Matrix c = a.MatMul(eye);
+  for (int r = 0; r < 3; ++r) {
+    for (int col = 0; col < 3; ++col) EXPECT_DOUBLE_EQ(c(r, col), a(r, col));
+  }
+}
+
+TEST(MatrixTest, AddScaleNorm) {
+  Matrix a(1, 2);
+  a(0, 0) = 3;
+  a(0, 1) = 4;
+  EXPECT_DOUBLE_EQ(a.Norm(), 5.0);
+  Matrix b = a;
+  b.ScaleInPlace(2.0);
+  EXPECT_DOUBLE_EQ(b(0, 1), 8.0);
+  a.AddInPlace(b);
+  EXPECT_DOUBLE_EQ(a(0, 0), 9.0);
+}
+
+TEST(InitTest, OrthogonalRowsAreOrthonormal) {
+  Rng rng(2);
+  Matrix m = OrthogonalInit(4, 8, 1.0, &rng);  // 4 rows, dim 8 → orthonormal
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      double dot = 0;
+      for (int c = 0; c < 8; ++c) dot += m(i, c) * m(j, c);
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(InitTest, OrthogonalGainScales) {
+  Rng rng(3);
+  Matrix m = OrthogonalInit(3, 6, 16.0, &rng);
+  for (int i = 0; i < 3; ++i) {
+    double norm = 0;
+    for (int c = 0; c < 6; ++c) norm += m(i, c) * m(i, c);
+    EXPECT_NEAR(std::sqrt(norm), 16.0, 1e-6);
+  }
+}
+
+TEST(InitTest, OrthogonalTallMatrixColumnsOrthonormal) {
+  Rng rng(4);
+  Matrix m = OrthogonalInit(8, 3, 1.0, &rng);  // tall: columns orthonormal
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      double dot = 0;
+      for (int r = 0; r < 8; ++r) dot += m(r, i) * m(r, j);
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(InitTest, XavierScaleReasonable) {
+  Rng rng(5);
+  Matrix m = XavierInit(64, 64, &rng);
+  double sumsq = 0;
+  for (int r = 0; r < 64; ++r) {
+    for (int c = 0; c < 64; ++c) sumsq += m(r, c) * m(r, c);
+  }
+  double var = sumsq / (64.0 * 64.0);
+  EXPECT_NEAR(var, 2.0 / 128.0, 0.005);
+}
+
+TEST(OptimizerTest, ClipGradNormCapsGlobalNorm) {
+  Parameter p(Matrix(1, 2));
+  p.grad(0, 0) = 3;
+  p.grad(0, 1) = 4;  // norm 5
+  ClipGradNorm({&p}, 1.0);
+  EXPECT_NEAR(p.grad.Norm(), 1.0, 1e-12);
+  // Below threshold: untouched.
+  Parameter q(Matrix(1, 1));
+  q.grad(0, 0) = 0.5;
+  ClipGradNorm({&q}, 1.0);
+  EXPECT_DOUBLE_EQ(q.grad(0, 0), 0.5);
+}
+
+TEST(OptimizerTest, SgdStepsOppositeGradient) {
+  Parameter p(Matrix(1, 1));
+  p.value(0, 0) = 1.0;
+  p.grad(0, 0) = 2.0;
+  SgdOptimizer sgd({&p}, 0.1);
+  sgd.Step();
+  EXPECT_NEAR(p.value(0, 0), 0.8, 1e-12);
+  EXPECT_DOUBLE_EQ(p.grad(0, 0), 0.0);  // zeroed after step
+}
+
+TEST(OptimizerTest, AdamConvergesOnQuadratic) {
+  // Minimize (x-3)^2 with gradient 2(x-3).
+  Parameter p(Matrix(1, 1));
+  p.value(0, 0) = -5.0;
+  AdamOptimizer adam({&p}, 0.2);
+  for (int i = 0; i < 400; ++i) {
+    p.grad(0, 0) = 2.0 * (p.value(0, 0) - 3.0);
+    adam.Step();
+  }
+  EXPECT_NEAR(p.value(0, 0), 3.0, 1e-2);
+}
+
+TEST(OptimizerTest, ZeroGradsClears) {
+  Parameter p(Matrix(2, 2, 1.0));
+  p.grad.Fill(7.0);
+  ZeroGrads({&p});
+  EXPECT_DOUBLE_EQ(p.grad.Norm(), 0.0);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace fastft

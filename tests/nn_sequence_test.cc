@@ -1,0 +1,119 @@
+// Behavioural tests for SequenceModel: learning, determinism, memory model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "nn/sequence_model.h"
+
+namespace fastft {
+namespace nn {
+namespace {
+
+SequenceModelConfig SmallConfig(Backbone backbone, uint64_t seed = 7) {
+  SequenceModelConfig config;
+  config.backbone = backbone;
+  config.vocab_size = 16;
+  config.embed_dim = 8;
+  config.hidden_dim = 8;
+  config.num_layers = 1;
+  config.head_dims = {8, 1};
+  config.seed = seed;
+  return config;
+}
+
+class BackboneTest : public testing::TestWithParam<Backbone> {};
+
+TEST_P(BackboneTest, LearnsToSeparateTwoSequences) {
+  SequenceModel model(SmallConfig(GetParam()));
+  std::vector<int> a = {1, 2, 3, 4};
+  std::vector<int> b = {9, 10, 11, 12};
+  for (int i = 0; i < 300; ++i) {
+    model.TrainStep(a, 1.0);
+    model.ApplyStep();
+    model.TrainStep(b, 0.0);
+    model.ApplyStep();
+  }
+  EXPECT_NEAR(model.Forward(a), 1.0, 0.15);
+  EXPECT_NEAR(model.Forward(b), 0.0, 0.15);
+}
+
+TEST_P(BackboneTest, ForwardIsDeterministic) {
+  SequenceModel model(SmallConfig(GetParam()));
+  std::vector<int> tokens = {3, 1, 4, 1, 5};
+  EXPECT_DOUBLE_EQ(model.Forward(tokens), model.Forward(tokens));
+}
+
+TEST_P(BackboneTest, SameSeedSameInit) {
+  SequenceModel a(SmallConfig(GetParam(), 42));
+  SequenceModel b(SmallConfig(GetParam(), 42));
+  std::vector<int> tokens = {2, 7, 2};
+  EXPECT_DOUBLE_EQ(a.Forward(tokens), b.Forward(tokens));
+  SequenceModel c(SmallConfig(GetParam(), 43));
+  EXPECT_NE(a.Forward(tokens), c.Forward(tokens));
+}
+
+TEST_P(BackboneTest, EncodeHasHiddenDim) {
+  SequenceModel model(SmallConfig(GetParam()));
+  std::vector<double> e = model.Encode({1, 2, 3});
+  EXPECT_EQ(e.size(), 8u);
+}
+
+TEST_P(BackboneTest, OutOfVocabTokensClamped) {
+  SequenceModel model(SmallConfig(GetParam()));
+  double v = model.Forward({1000, -5, 3});
+  EXPECT_TRUE(std::isfinite(v));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackbones, BackboneTest,
+                         testing::Values(Backbone::kLstm, Backbone::kRnn,
+                                         Backbone::kTransformer));
+
+TEST(SequenceModelTest, ParameterBytesPositiveAndOrdered) {
+  SequenceModel lstm(SmallConfig(Backbone::kLstm));
+  SequenceModel rnn(SmallConfig(Backbone::kRnn));
+  // LSTM has 4 gate blocks vs RNN's single block.
+  EXPECT_GT(lstm.ParameterBytes(), rnn.ParameterBytes());
+}
+
+TEST(SequenceModelTest, RecurrentActivationLinearInLength) {
+  SequenceModel model(SmallConfig(Backbone::kLstm));
+  size_t a = model.ActivationBytes(16);
+  size_t b = model.ActivationBytes(32);
+  size_t c = model.ActivationBytes(64);
+  EXPECT_NEAR(static_cast<double>(b) / a, 2.0, 0.1);
+  EXPECT_NEAR(static_cast<double>(c) / b, 2.0, 0.1);
+}
+
+TEST(SequenceModelTest, TransformerActivationSuperlinear) {
+  // The Fig. 11 contrast: attention memory grows faster than linear.
+  SequenceModel model(SmallConfig(Backbone::kTransformer));
+  double r1 = static_cast<double>(model.ActivationBytes(64)) /
+              model.ActivationBytes(32);
+  EXPECT_GT(r1, 2.0);
+}
+
+TEST(SequenceModelTest, TrainingReducesLoss) {
+  SequenceModel model(SmallConfig(Backbone::kLstm));
+  std::vector<int> tokens = {1, 5, 9, 2};
+  double first = model.TrainStep(tokens, 0.7);
+  model.ApplyStep();
+  double last = first;
+  for (int i = 0; i < 100; ++i) {
+    last = model.TrainStep(tokens, 0.7);
+    model.ApplyStep();
+  }
+  EXPECT_LT(last, first);
+  EXPECT_LT(last, 0.01);
+}
+
+TEST(SequenceModelTest, BackboneNames) {
+  EXPECT_STREQ(BackboneName(Backbone::kLstm), "LSTM");
+  EXPECT_STREQ(BackboneName(Backbone::kRnn), "RNN");
+  EXPECT_STREQ(BackboneName(Backbone::kTransformer), "Transformer");
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace fastft

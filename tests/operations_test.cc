@@ -1,0 +1,101 @@
+// Tests for the operation set: semantics and numeric guarding.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+#include <string>
+
+#include "core/operations.h"
+
+namespace fastft {
+namespace {
+
+TEST(OperationsTest, UnaryBinaryPartition) {
+  int unary = 0, binary = 0;
+  for (int i = 0; i < kNumOperations; ++i) {
+    if (IsUnary(OpFromIndex(i))) {
+      ++unary;
+    } else {
+      ++binary;
+    }
+  }
+  EXPECT_EQ(unary, kNumUnaryOperations);
+  EXPECT_EQ(binary, kNumOperations - kNumUnaryOperations);
+  EXPECT_GE(binary, 4);  // paper: plus, minus, multiply, divide
+}
+
+TEST(OperationsTest, BasicUnarySemantics) {
+  EXPECT_DOUBLE_EQ(ApplyUnary(OpType::kSquare, 3.0), 9.0);
+  EXPECT_DOUBLE_EQ(ApplyUnary(OpType::kCube, 2.0), 8.0);
+  EXPECT_DOUBLE_EQ(ApplyUnary(OpType::kSqrtAbs, -4.0), 2.0);
+  EXPECT_DOUBLE_EQ(ApplyUnary(OpType::kLog1pAbs, 0.0), 0.0);
+  EXPECT_NEAR(ApplyUnary(OpType::kSin, M_PI / 2), 1.0, 1e-12);
+  EXPECT_NEAR(ApplyUnary(OpType::kCos, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(ApplyUnary(OpType::kTanh, 100.0), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(ApplyUnary(OpType::kReciprocal, 4.0), 0.25);
+}
+
+TEST(OperationsTest, BasicBinarySemantics) {
+  EXPECT_DOUBLE_EQ(ApplyBinary(OpType::kAdd, 2, 3), 5);
+  EXPECT_DOUBLE_EQ(ApplyBinary(OpType::kSub, 2, 3), -1);
+  EXPECT_DOUBLE_EQ(ApplyBinary(OpType::kMul, 2, 3), 6);
+  EXPECT_DOUBLE_EQ(ApplyBinary(OpType::kDiv, 6, 3), 2);
+}
+
+TEST(OperationsTest, DivisionByZeroGuarded) {
+  double v = ApplyBinary(OpType::kDiv, 1.0, 0.0);
+  EXPECT_TRUE(std::isfinite(v));
+  double w = ApplyUnary(OpType::kReciprocal, 0.0);
+  EXPECT_TRUE(std::isfinite(w));
+}
+
+TEST(OperationsTest, ExpSaturates) {
+  double v = ApplyUnary(OpType::kExpClip, 1000.0);
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_GT(v, 1.0);
+}
+
+TEST(OperationsTest, ExtremeInputsStayFinite) {
+  const double inputs[] = {0.0, -0.0, 1e308, -1e308, 1e-308,
+                           std::numeric_limits<double>::quiet_NaN()};
+  for (int i = 0; i < kNumOperations; ++i) {
+    OpType op = OpFromIndex(i);
+    for (double a : inputs) {
+      for (double b : inputs) {
+        double v = IsUnary(op) ? ApplyUnary(op, a) : ApplyBinary(op, a, b);
+        EXPECT_TRUE(std::isfinite(v))
+            << OpName(op) << "(" << a << ", " << b << ") = " << v;
+      }
+    }
+  }
+}
+
+TEST(OperationsTest, ColumnWiseMatchesScalar) {
+  std::vector<double> a = {1, 2, 3};
+  std::vector<double> b = {4, 5, 6};
+  std::vector<double> sum = ApplyBinary(OpType::kAdd, a, b);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sum[i], a[i] + b[i]);
+  }
+  std::vector<double> sq = ApplyUnary(OpType::kSquare, a);
+  EXPECT_DOUBLE_EQ(sq[2], 9.0);
+}
+
+TEST(OperationsTest, NamesUniqueAndNonEmpty) {
+  std::set<std::string> names;
+  for (int i = 0; i < kNumOperations; ++i) {
+    const std::string& name = OpName(OpFromIndex(i));
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(names.insert(name).second) << "duplicate op name " << name;
+  }
+}
+
+TEST(OperationsDeathTest, WrongArityChecks) {
+  EXPECT_DEATH(ApplyUnary(OpType::kAdd, 1.0), "unary");
+  EXPECT_DEATH(ApplyBinary(OpType::kSquare, 1.0, 2.0), "binary");
+}
+
+}  // namespace
+}  // namespace fastft

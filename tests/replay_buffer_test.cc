@@ -1,0 +1,125 @@
+// Tests for the prioritized replay buffer (Eq. 10).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "core/replay_buffer.h"
+
+namespace fastft {
+namespace {
+
+Transition MakeTransition(double reward) {
+  Transition t;
+  t.reward = reward;
+  t.performance = reward;
+  t.tokens = {1, 2, 3};
+  return t;
+}
+
+TEST(ReplayBufferTest, FillsToCapacity) {
+  PrioritizedReplayBuffer buffer(4);
+  EXPECT_EQ(buffer.capacity(), 4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(buffer.Full());
+    buffer.Add(MakeTransition(i), 1.0);
+  }
+  EXPECT_TRUE(buffer.Full());
+  EXPECT_EQ(buffer.size(), 4);
+}
+
+TEST(ReplayBufferTest, EvictsOldestWhenFull) {
+  PrioritizedReplayBuffer buffer(3);
+  for (int i = 0; i < 3; ++i) buffer.Add(MakeTransition(i), 1.0);
+  buffer.Add(MakeTransition(99), 1.0);  // replaces slot 0 (oldest)
+  EXPECT_EQ(buffer.size(), 3);
+  EXPECT_DOUBLE_EQ(buffer.Get(0).reward, 99.0);
+  EXPECT_DOUBLE_EQ(buffer.Get(1).reward, 1.0);
+}
+
+TEST(ReplayBufferTest, PrioritySamplingFavorsHighTd) {
+  PrioritizedReplayBuffer buffer(4);
+  buffer.Add(MakeTransition(0), 0.001);
+  buffer.Add(MakeTransition(1), 0.001);
+  buffer.Add(MakeTransition(2), 10.0);
+  buffer.Add(MakeTransition(3), 0.001);
+  Rng rng(5);
+  int hits = 0;
+  const int draws = 2000;
+  for (int i = 0; i < draws; ++i) {
+    hits += (buffer.SampleIndex(&rng, /*prioritized=*/true) == 2);
+  }
+  EXPECT_GT(hits, draws * 0.9);
+}
+
+TEST(ReplayBufferTest, UniformSamplingIgnoresPriority) {
+  PrioritizedReplayBuffer buffer(4);
+  buffer.Add(MakeTransition(0), 0.001);
+  buffer.Add(MakeTransition(1), 100.0);
+  buffer.Add(MakeTransition(2), 0.001);
+  buffer.Add(MakeTransition(3), 0.001);
+  Rng rng(6);
+  int counts[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 4000; ++i) {
+    ++counts[buffer.SampleIndex(&rng, /*prioritized=*/false)];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 1000, 200);
+}
+
+TEST(ReplayBufferTest, NegativePrioritiesUseMagnitude) {
+  PrioritizedReplayBuffer buffer(2);
+  buffer.Add(MakeTransition(0), -10.0);  // |.| = 10
+  buffer.Add(MakeTransition(1), 0.001);
+  EXPECT_DOUBLE_EQ(buffer.Priority(0), 10.0);
+  Rng rng(7);
+  int hits = 0;
+  for (int i = 0; i < 1000; ++i) {
+    hits += (buffer.SampleIndex(&rng, true) == 0);
+  }
+  EXPECT_GT(hits, 900);
+}
+
+TEST(ReplayBufferTest, ZeroPriorityFlooredNotDropped) {
+  PrioritizedReplayBuffer buffer(2);
+  buffer.Add(MakeTransition(0), 0.0);
+  EXPECT_GT(buffer.Priority(0), 0.0);
+}
+
+TEST(ReplayBufferTest, UpdatePriorityChangesSampling) {
+  PrioritizedReplayBuffer buffer(2);
+  buffer.Add(MakeTransition(0), 5.0);
+  buffer.Add(MakeTransition(1), 5.0);
+  buffer.UpdatePriority(0, 0.0001);
+  Rng rng(8);
+  int hits1 = 0;
+  for (int i = 0; i < 1000; ++i) hits1 += (buffer.SampleIndex(&rng, true) == 1);
+  EXPECT_GT(hits1, 900);
+}
+
+TEST(ReplayBufferTest, UniformSampleIndicesDistinct) {
+  PrioritizedReplayBuffer buffer(8);
+  for (int i = 0; i < 8; ++i) buffer.Add(MakeTransition(i), 1.0);
+  Rng rng(9);
+  std::vector<int> sample = buffer.UniformSampleIndices(5, &rng);
+  std::set<int> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+  // Requesting more than size clamps.
+  EXPECT_EQ(buffer.UniformSampleIndices(100, &rng).size(), 8u);
+}
+
+TEST(ReplayBufferTest, GetMutableAllowsPerformanceUpdate) {
+  PrioritizedReplayBuffer buffer(2);
+  buffer.Add(MakeTransition(1.5), 1.0);
+  buffer.GetMutable(0).performance = 2.5;
+  EXPECT_DOUBLE_EQ(buffer.Get(0).performance, 2.5);
+}
+
+TEST(ReplayBufferDeathTest, OutOfRangeAccessChecks) {
+  PrioritizedReplayBuffer buffer(2);
+  buffer.Add(MakeTransition(0), 1.0);
+  EXPECT_DEATH(buffer.Get(5), "Check failed");
+}
+
+}  // namespace
+}  // namespace fastft

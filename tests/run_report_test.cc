@@ -1,0 +1,124 @@
+// Tests for the JSON run-report writer.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <limits>
+#include <fstream>
+
+#include "core/run_report.h"
+#include "data/synthetic.h"
+
+namespace fastft {
+namespace {
+
+EngineResult QuickRun(const Dataset& dataset) {
+  EngineConfig cfg;
+  cfg.episodes = 3;
+  cfg.steps_per_episode = 3;
+  cfg.cold_start_episodes = 1;
+  cfg.evaluator.folds = 2;
+  cfg.seed = 77;
+  return FastFtEngine(cfg).Run(dataset);
+}
+
+Dataset SmallDataset() {
+  SyntheticSpec spec;
+  spec.samples = 80;
+  spec.features = 5;
+  spec.seed = 31;
+  Dataset ds = MakeClassification(spec);
+  ds.name = "report \"test\"";  // exercises escaping
+  return ds;
+}
+
+TEST(JsonEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(RunReportTest, ContainsCoreFields) {
+  Dataset ds = SmallDataset();
+  EngineResult r = QuickRun(ds);
+  std::string json = RunReportJson(ds, r);
+  EXPECT_NE(json.find("\"dataset\": \"report \\\"test\\\"\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"task\": \"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"base_score\":"), std::string::npos);
+  EXPECT_NE(json.find("\"best_score\":"), std::string::npos);
+  EXPECT_NE(json.find("\"trace\":"), std::string::npos);
+  EXPECT_NE(json.find("\"generated_features\":"), std::string::npos);
+  EXPECT_NE(json.find("\"times\":"), std::string::npos);
+}
+
+TEST(RunReportTest, BalancedBracesAndQuotes) {
+  // Structural sanity without a JSON parser: balanced {} and [] and an even
+  // number of unescaped quotes.
+  Dataset ds = SmallDataset();
+  EngineResult r = QuickRun(ds);
+  std::string json = RunReportJson(ds, r);
+  int braces = 0, brackets = 0, quotes = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) {
+      in_string = !in_string;
+      ++quotes;
+    }
+    if (in_string) continue;
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_EQ(quotes % 2, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(RunReportTest, TraceLengthMatchesSteps) {
+  Dataset ds = SmallDataset();
+  EngineResult r = QuickRun(ds);
+  std::string json = RunReportJson(ds, r);
+  size_t count = 0, pos = 0;
+  while ((pos = json.find("\"episode\":", pos)) != std::string::npos) {
+    ++count;
+    pos += 1;
+  }
+  EXPECT_EQ(count, r.trace.size());
+}
+
+TEST(RunReportTest, NoNanOrInfLiterals) {
+  Dataset ds = SmallDataset();
+  EngineResult r = QuickRun(ds);
+  r.base_score = std::numeric_limits<double>::quiet_NaN();
+  std::string json = RunReportJson(ds, r);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+  EXPECT_NE(json.find("\"base_score\": null"), std::string::npos);
+}
+
+TEST(RunReportTest, FileWrite) {
+  std::string path = testing::TempDir() + "/fastft_report.json";
+  Dataset ds = SmallDataset();
+  EngineResult r = QuickRun(ds);
+  ASSERT_TRUE(WriteRunReport(ds, r, path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first_line;
+  std::getline(in, first_line);
+  EXPECT_EQ(first_line, "{");
+  std::remove(path.c_str());
+}
+
+TEST(RunReportTest, WriteToBadPathFails) {
+  Dataset ds = SmallDataset();
+  EngineResult r = QuickRun(ds);
+  EXPECT_EQ(WriteRunReport(ds, r, "/no/such/dir/report.json").code(),
+            StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace fastft

@@ -1,0 +1,110 @@
+// Tests for train/test splitting and k-fold generation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/split.h"
+#include "data/synthetic.h"
+
+namespace fastft {
+namespace {
+
+Dataset SmallClassification() {
+  SyntheticSpec spec;
+  spec.samples = 100;
+  spec.features = 5;
+  spec.classes = 3;
+  spec.seed = 5;
+  return MakeClassification(spec);
+}
+
+TEST(SplitTest, PartitionIsDisjointAndComplete) {
+  Dataset ds = SmallClassification();
+  TrainTestIndices split = TrainTestSplit(ds, 0.25, 42);
+  std::set<int> all(split.train.begin(), split.train.end());
+  for (int t : split.test) {
+    EXPECT_EQ(all.count(t), 0u);
+    all.insert(t);
+  }
+  EXPECT_EQ(static_cast<int>(all.size()), ds.NumRows());
+}
+
+TEST(SplitTest, TestFractionApproximate) {
+  Dataset ds = SmallClassification();
+  TrainTestIndices split = TrainTestSplit(ds, 0.2, 42);
+  EXPECT_NEAR(static_cast<double>(split.test.size()) / ds.NumRows(), 0.2,
+              0.08);
+}
+
+TEST(SplitTest, StratificationKeepsAllClassesInTrain) {
+  Dataset ds = SmallClassification();
+  TrainTestIndices split = TrainTestSplit(ds, 0.3, 7);
+  std::set<int> train_classes, test_classes;
+  for (int i : split.train) train_classes.insert((int)ds.labels[i]);
+  for (int i : split.test) test_classes.insert((int)ds.labels[i]);
+  EXPECT_EQ(train_classes.size(), 3u);
+  EXPECT_EQ(test_classes.size(), 3u);
+}
+
+TEST(SplitTest, DeterministicGivenSeed) {
+  Dataset ds = SmallClassification();
+  TrainTestIndices a = TrainTestSplit(ds, 0.25, 99);
+  TrainTestIndices b = TrainTestSplit(ds, 0.25, 99);
+  EXPECT_EQ(a.train, b.train);
+  EXPECT_EQ(a.test, b.test);
+  TrainTestIndices c = TrainTestSplit(ds, 0.25, 100);
+  EXPECT_NE(a.test, c.test);
+}
+
+class KFoldParamTest : public testing::TestWithParam<int> {};
+
+TEST_P(KFoldParamTest, FoldsPartitionRows) {
+  const int folds = GetParam();
+  Dataset ds = SmallClassification();
+  auto splits = KFoldSplit(ds, folds, 31);
+  ASSERT_EQ(static_cast<int>(splits.size()), folds);
+  std::set<int> covered;
+  for (const auto& split : splits) {
+    EXPECT_EQ(static_cast<int>(split.train.size() + split.test.size()),
+              ds.NumRows());
+    for (int t : split.test) {
+      EXPECT_EQ(covered.count(t), 0u) << "row in two test folds";
+      covered.insert(t);
+    }
+    // Train and test disjoint within a fold.
+    std::set<int> train(split.train.begin(), split.train.end());
+    for (int t : split.test) EXPECT_EQ(train.count(t), 0u);
+  }
+  EXPECT_EQ(static_cast<int>(covered.size()), ds.NumRows());
+}
+
+INSTANTIATE_TEST_SUITE_P(Folds, KFoldParamTest, testing::Values(2, 3, 5, 10));
+
+TEST(SplitTest, MaterializeSplitShapes) {
+  Dataset ds = SmallClassification();
+  TrainTestIndices split = TrainTestSplit(ds, 0.25, 3);
+  TrainTestData data = MaterializeSplit(ds, split);
+  EXPECT_EQ(data.train.NumRows(), static_cast<int>(split.train.size()));
+  EXPECT_EQ(data.test.NumRows(), static_cast<int>(split.test.size()));
+  EXPECT_EQ(data.train.NumFeatures(), ds.NumFeatures());
+  EXPECT_EQ(data.train.task, ds.task);
+  // Labels follow rows.
+  for (size_t i = 0; i < split.test.size(); ++i) {
+    EXPECT_DOUBLE_EQ(data.test.labels[i], ds.labels[split.test[i]]);
+  }
+}
+
+TEST(SplitTest, RegressionSplitWorks) {
+  SyntheticSpec spec;
+  spec.samples = 60;
+  spec.features = 4;
+  Dataset ds = MakeRegression(spec);
+  TrainTestIndices split = TrainTestSplit(ds, 0.25, 1);
+  EXPECT_GT(split.test.size(), 0u);
+  EXPECT_GT(split.train.size(), split.test.size());
+}
+
+}  // namespace
+}  // namespace fastft

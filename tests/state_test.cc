@@ -1,0 +1,93 @@
+// Tests for the Fig. 4 state representation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/state.h"
+#include "data/synthetic.h"
+
+namespace fastft {
+namespace {
+
+FeatureSpace MakeSpace() {
+  SyntheticSpec spec;
+  spec.samples = 150;
+  spec.features = 6;
+  spec.seed = 40;
+  return FeatureSpace(MakeClassification(spec));
+}
+
+TEST(StateTest, FixedDimensionRegardlessOfClusterSize) {
+  FeatureSpace space = MakeSpace();
+  EXPECT_EQ(ClusterState(space, {0}).size(), static_cast<size_t>(kStateDim));
+  EXPECT_EQ(ClusterState(space, {0, 1, 2}).size(),
+            static_cast<size_t>(kStateDim));
+  EXPECT_EQ(FeatureSetState(space).size(), static_cast<size_t>(kStateDim));
+}
+
+TEST(StateTest, AllEntriesFinite) {
+  FeatureSpace space = MakeSpace();
+  for (double v : FeatureSetState(space)) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(StateTest, DifferentClustersDifferentStates) {
+  FeatureSpace space = MakeSpace();
+  std::vector<double> a = ClusterState(space, {0});
+  std::vector<double> b = ClusterState(space, {1});
+  EXPECT_NE(a, b);
+}
+
+TEST(StateTest, DeterministicForSameCluster) {
+  FeatureSpace space = MakeSpace();
+  EXPECT_EQ(ClusterState(space, {0, 2}), ClusterState(space, {0, 2}));
+}
+
+TEST(StateTest, StateChangesWhenFeatureSetGrows) {
+  FeatureSpace space = MakeSpace();
+  std::vector<double> before = FeatureSetState(space);
+  Rng rng(1);
+  space.ApplyOperation(OpType::kSquare, {0, 1}, {}, &rng);
+  std::vector<double> after = FeatureSetState(space);
+  EXPECT_NE(before, after);
+}
+
+TEST(StateTest, SquashBoundsLargeValues) {
+  // A column with huge magnitudes must still produce O(log) state entries.
+  Dataset ds;
+  ds.task = TaskType::kClassification;
+  std::vector<double> big(50), labels(50);
+  for (int i = 0; i < 50; ++i) {
+    big[i] = 1e8 * (i % 2 == 0 ? 1 : -1) * (i + 1);
+    labels[i] = i % 2;
+  }
+  ASSERT_TRUE(ds.features.AddColumn("big", big).ok());
+  ds.labels = labels;
+  FeatureSpace space(ds);
+  for (double v : FeatureSetState(space)) {
+    EXPECT_LT(std::abs(v), 50.0);  // log1p(1e10) ≈ 23
+  }
+}
+
+TEST(StateTest, OperationOneHot) {
+  std::vector<double> onehot = OperationOneHot(OpType::kMul);
+  EXPECT_EQ(onehot.size(), static_cast<size_t>(kNumOperations));
+  double sum = 0;
+  for (double v : onehot) sum += v;
+  EXPECT_DOUBLE_EQ(sum, 1.0);
+  EXPECT_DOUBLE_EQ(onehot[static_cast<int>(OpType::kMul)], 1.0);
+}
+
+TEST(StateTest, ConcatPreservesOrder) {
+  std::vector<double> joined = Concat({1, 2}, {3});
+  EXPECT_EQ(joined, (std::vector<double>{1, 2, 3}));
+  EXPECT_EQ(Concat({}, {}).size(), 0u);
+}
+
+TEST(StateTest, StateDimMatchesSummaryFields) {
+  EXPECT_EQ(kStateDim, Summary::kNumFields * Summary::kNumFields);
+}
+
+}  // namespace
+}  // namespace fastft

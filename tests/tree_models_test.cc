@@ -1,0 +1,267 @@
+// Tests for decision tree, random forest, and gradient boosting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "ml/decision_tree.h"
+#include "ml/gradient_boosting.h"
+#include "ml/metrics.h"
+#include "ml/random_forest.h"
+
+namespace fastft {
+namespace {
+
+// XOR-ish dataset: label depends on sign(x0 * x1) — needs depth >= 2.
+void MakeXor(int n, Rows* x, std::vector<double>* y, uint64_t seed = 1) {
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    double a = rng.Uniform(-1, 1);
+    double b = rng.Uniform(-1, 1);
+    x->push_back({a, b});
+    y->push_back(a * b > 0 ? 1.0 : 0.0);
+  }
+}
+
+TEST(DecisionTreeTest, FitsXorPerfectlyWithDepth) {
+  Rows x;
+  std::vector<double> y;
+  MakeXor(300, &x, &y);
+  TreeConfig tc;
+  tc.max_depth = 6;
+  tc.min_samples_leaf = 1;
+  DecisionTree tree(tc);
+  tree.Fit(x, y);
+  std::vector<double> pred = tree.Predict(x);
+  EXPECT_GT(Accuracy(y, pred), 0.95);
+  EXPECT_EQ(tree.num_classes(), 2);
+}
+
+TEST(DecisionTreeTest, DepthOneCannotFitXor) {
+  Rows x;
+  std::vector<double> y;
+  MakeXor(300, &x, &y);
+  TreeConfig tc;
+  tc.max_depth = 1;
+  DecisionTree tree(tc);
+  tree.Fit(x, y);
+  EXPECT_LT(Accuracy(y, tree.Predict(x)), 0.75);
+}
+
+TEST(DecisionTreeTest, PureNodeIsLeaf) {
+  Rows x = {{0}, {1}, {2}};
+  std::vector<double> y = {1, 1, 1};
+  DecisionTree tree;
+  tree.Fit(x, y);
+  EXPECT_DOUBLE_EQ(tree.Predict({{5}})[0], 1.0);
+}
+
+TEST(DecisionTreeTest, RegressionFitsStep) {
+  Rows x;
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back({static_cast<double>(i)});
+    y.push_back(i < 50 ? 1.0 : 5.0);
+  }
+  TreeConfig tc;
+  tc.regression = true;
+  tc.max_depth = 2;
+  DecisionTree tree(tc);
+  tree.Fit(x, y);
+  EXPECT_NEAR(tree.Predict({{10}})[0], 1.0, 0.2);
+  EXPECT_NEAR(tree.Predict({{90}})[0], 5.0, 0.2);
+}
+
+TEST(DecisionTreeTest, ImportanceConcentratesOnSplitFeature) {
+  // Feature 1 fully determines the label; feature 0 is noise.
+  Rng rng(4);
+  Rows x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    double signal = rng.Uniform(-1, 1);
+    x.push_back({rng.Uniform(-1, 1), signal});
+    y.push_back(signal > 0 ? 1.0 : 0.0);
+  }
+  DecisionTree tree;
+  tree.Fit(x, y);
+  const auto& importance = tree.FeatureImportance();
+  ASSERT_EQ(importance.size(), 2u);
+  EXPECT_GT(importance[1], 0.9);
+  EXPECT_NEAR(importance[0] + importance[1], 1.0, 1e-9);
+}
+
+TEST(DecisionTreeTest, ProbaSumsToOne) {
+  Rows x;
+  std::vector<double> y;
+  MakeXor(100, &x, &y);
+  DecisionTree tree;
+  tree.Fit(x, y);
+  std::vector<double> p = tree.PredictProba(x[0]);
+  double sum = 0;
+  for (double v : p) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(DecisionTreeTest, MinSamplesLeafRespected) {
+  Rows x;
+  std::vector<double> y;
+  MakeXor(50, &x, &y);
+  TreeConfig tc;
+  tc.min_samples_leaf = 25;  // at most one split possible
+  DecisionTree tree(tc);
+  tree.Fit(x, y);  // must not crash; prediction still defined
+  EXPECT_EQ(tree.Predict(x).size(), x.size());
+}
+
+TEST(RandomForestTest, BeatsSingleStumpOnXor) {
+  Rows x;
+  std::vector<double> y;
+  MakeXor(400, &x, &y);
+  ForestConfig fc;
+  fc.num_trees = 15;
+  fc.max_depth = 6;
+  RandomForest forest(fc);
+  forest.Fit(x, y);
+  EXPECT_GT(Accuracy(y, forest.Predict(x)), 0.9);
+}
+
+TEST(RandomForestTest, DeterministicGivenSeed) {
+  Rows x;
+  std::vector<double> y;
+  MakeXor(150, &x, &y);
+  ForestConfig fc;
+  fc.seed = 5;
+  RandomForest a(fc), b(fc);
+  a.Fit(x, y);
+  b.Fit(x, y);
+  EXPECT_EQ(a.Predict(x), b.Predict(x));
+}
+
+TEST(RandomForestTest, RegressionAveragesTrees) {
+  Rng rng(8);
+  Rows x;
+  std::vector<double> y;
+  for (int i = 0; i < 300; ++i) {
+    double a = rng.Uniform(-2, 2);
+    x.push_back({a});
+    y.push_back(3.0 * a + rng.Normal(0, 0.1));
+  }
+  ForestConfig fc;
+  fc.regression = true;
+  fc.num_trees = 10;
+  RandomForest forest(fc);
+  forest.Fit(x, y);
+  EXPECT_GT(OneMinusRae(y, forest.Predict(x)), 0.8);
+}
+
+TEST(RandomForestTest, ScoreIsProbability) {
+  Rows x;
+  std::vector<double> y;
+  MakeXor(150, &x, &y);
+  RandomForest forest;
+  forest.Fit(x, y);
+  for (double s : forest.PredictScore(x)) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(RandomForestTest, ImportanceNormalized) {
+  Rows x;
+  std::vector<double> y;
+  MakeXor(200, &x, &y);
+  RandomForest forest;
+  forest.Fit(x, y);
+  double sum = 0;
+  for (double v : forest.FeatureImportance()) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(GradientBoostingTest, BinaryClassificationOnXor) {
+  Rows x;
+  std::vector<double> y;
+  MakeXor(400, &x, &y);
+  BoostingConfig bc;
+  bc.num_rounds = 30;
+  bc.max_depth = 3;
+  GradientBoosting gb(bc);
+  gb.Fit(x, y);
+  EXPECT_GT(Accuracy(y, gb.Predict(x)), 0.85);
+}
+
+TEST(GradientBoostingTest, RegressionReducesError) {
+  Rng rng(10);
+  Rows x;
+  std::vector<double> y;
+  for (int i = 0; i < 250; ++i) {
+    double a = rng.Uniform(-2, 2);
+    x.push_back({a});
+    y.push_back(a * a + rng.Normal(0, 0.05));
+  }
+  BoostingConfig bc;
+  bc.regression = true;
+  bc.num_rounds = 25;
+  GradientBoosting gb(bc);
+  gb.Fit(x, y);
+  EXPECT_GT(OneMinusRae(y, gb.Predict(x)), 0.7);
+}
+
+TEST(GradientBoostingTest, MulticlassOneVsRest) {
+  Rng rng(12);
+  Rows x;
+  std::vector<double> y;
+  for (int i = 0; i < 300; ++i) {
+    double a = rng.Uniform(0, 3);
+    x.push_back({a});
+    y.push_back(std::floor(a));
+  }
+  GradientBoosting gb;
+  gb.Fit(x, y);
+  EXPECT_GT(Accuracy(y, gb.Predict(x)), 0.85);
+}
+
+TEST(GradientBoostingTest, ScoresInUnitIntervalForClassification) {
+  Rows x;
+  std::vector<double> y;
+  MakeXor(100, &x, &y);
+  GradientBoosting gb;
+  gb.Fit(x, y);
+  for (double s : gb.PredictScore(x)) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+
+TEST(RandomForestTest, ParallelMatchesSerial) {
+  Rows x;
+  std::vector<double> y;
+  MakeXor(250, &x, &y);
+  ForestConfig serial;
+  serial.num_trees = 12;
+  serial.seed = 77;
+  ForestConfig parallel = serial;
+  parallel.num_threads = 4;
+  RandomForest a(serial), b(parallel);
+  a.Fit(x, y);
+  b.Fit(x, y);
+  EXPECT_EQ(a.Predict(x), b.Predict(x));
+  EXPECT_EQ(a.PredictScore(x), b.PredictScore(x));
+  EXPECT_EQ(a.FeatureImportance(), b.FeatureImportance());
+}
+
+TEST(RandomForestTest, MoreThreadsThanTreesClamped) {
+  Rows x;
+  std::vector<double> y;
+  MakeXor(100, &x, &y);
+  ForestConfig fc;
+  fc.num_trees = 3;
+  fc.num_threads = 16;
+  RandomForest forest(fc);
+  forest.Fit(x, y);  // must not crash / deadlock
+  EXPECT_EQ(forest.Predict(x).size(), x.size());
+}
+
+}  // namespace
+}  // namespace fastft
