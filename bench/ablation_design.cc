@@ -14,7 +14,7 @@ namespace fastft {
 namespace {
 
 double RunScore(const Dataset& dataset, const EngineConfig& cfg) {
-  return FastFtEngine(cfg).Run(dataset).best_score;
+  return FastFtEngine(cfg).Run(dataset).ValueOrDie().best_score;
 }
 
 int main_impl() {
@@ -41,7 +41,7 @@ int main_impl() {
         EngineConfig cfg = bench::DefaultEngineConfig(1600 + 7 * s);
         cfg.clustering.mode = modes[m];
         WallTimer timer;
-        EngineResult r = FastFtEngine(cfg).Run(dataset);
+        EngineResult r = FastFtEngine(cfg).Run(dataset).ValueOrDie();
         scores[m] += r.best_score / seeds;
         if (m == 0) {
           mi_ms += 1000.0 * r.times.Get("optimization") /

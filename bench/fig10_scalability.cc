@@ -34,7 +34,7 @@ int main_impl() {
     cfg.evaluator.folds = 5;
     cfg.evaluator.forest_trees = 12;
     WallTimer t0;
-    FastFtEngine(cfg).Run(dataset);
+    FastFtEngine(cfg).Run(dataset).ValueOrDie();
     fastft_t.push_back(t0.Seconds());
 
     BaselineConfig bc = bench::DefaultBaselineConfig(1010);

@@ -57,8 +57,8 @@ int main_impl() {
   with.evaluator.forest_trees = 12;
   EngineConfig without = with;
   without.use_performance_predictor = false;
-  EngineResult r_with = FastFtEngine(with).Run(dataset);
-  EngineResult r_without = FastFtEngine(without).Run(dataset);
+  EngineResult r_with = FastFtEngine(with).Run(dataset).ValueOrDie();
+  EngineResult r_without = FastFtEngine(without).Run(dataset).ValueOrDie();
 
   PredictorConfig pc;
   PerformancePredictor predictor(pc);

@@ -25,7 +25,7 @@ Point RunWith(const Dataset& dataset, double alpha, double beta,
   cfg.beta_percentile = beta;
   cfg.evaluator.folds = 5;
   cfg.evaluator.forest_trees = 12;
-  EngineResult r = FastFtEngine(cfg).Run(dataset);
+  EngineResult r = FastFtEngine(cfg).Run(dataset).ValueOrDie();
   return {0.0, r.times.Get("evaluation"), r.best_score,
           r.downstream_evaluations};
 }

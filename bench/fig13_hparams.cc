@@ -11,7 +11,7 @@ namespace fastft {
 namespace {
 
 double RunConfig(const Dataset& dataset, const EngineConfig& cfg) {
-  return FastFtEngine(cfg).Run(dataset).best_score;
+  return FastFtEngine(cfg).Run(dataset).ValueOrDie().best_score;
 }
 
 int main_impl() {

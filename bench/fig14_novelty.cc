@@ -30,7 +30,7 @@ NoveltySummary RunVariant(const Dataset& dataset, bool use_novelty,
   cfg.episodes = 16;
   cfg.cold_start_episodes = 2;
   cfg.novelty_weight_start = 0.3;
-  EngineResult r = FastFtEngine(cfg).Run(dataset);
+  EngineResult r = FastFtEngine(cfg).Run(dataset).ValueOrDie();
   NoveltySummary out;
   double acc = 0.0;
   int n = 0;

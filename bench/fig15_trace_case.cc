@@ -17,7 +17,7 @@ int main_impl() {
   Dataset dataset = LoadZooDataset("Cardiovascular").ValueOrDie();
   EngineConfig cfg = bench::DefaultEngineConfig(1515);
   cfg.episodes = bench::FullMode() ? 14 : 10;
-  EngineResult r = FastFtEngine(cfg).Run(dataset);
+  EngineResult r = FastFtEngine(cfg).Run(dataset).ValueOrDie();
 
   // A "peak" is a step whose reward exceeds both neighbors and the trace
   // mean + 0.5 std.

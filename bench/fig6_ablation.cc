@@ -47,7 +47,7 @@ int main_impl() {
         cfg.use_performance_predictor = variants[v].pp;
         cfg.use_novelty = variants[v].ne;
         cfg.prioritized_replay = variants[v].rct;
-        runs.push_back(FastFtEngine(cfg).Run(dataset).best_score);
+        runs.push_back(FastFtEngine(cfg).Run(dataset).ValueOrDie().best_score);
       }
       scores[v] = bench::Mean(runs);
       std::printf(" %11.3f", scores[v]);

@@ -32,7 +32,7 @@ int main_impl() {
       EngineConfig cfg = bench::DefaultEngineConfig(606 + 13 * s);
       cfg.episodes = episodes;
       cfg.framework = frameworks[f];
-      EngineResult r = FastFtEngine(cfg).Run(dataset);
+      EngineResult r = FastFtEngine(cfg).Run(dataset).ValueOrDie();
       for (int e = 0; e < episodes; ++e) curve[e] += r.episode_best[e];
     }
     std::printf("%-12s", RlFrameworkName(frameworks[f]));

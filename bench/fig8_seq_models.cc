@@ -29,7 +29,7 @@ int main_impl() {
     for (int b = 0; b < 3; ++b) {
       EngineConfig cfg = bench::DefaultEngineConfig(707);
       cfg.backbone = backbones[b];
-      EngineResult r = FastFtEngine(cfg).Run(dataset);
+      EngineResult r = FastFtEngine(cfg).Run(dataset).ValueOrDie();
       // Component cost = estimation (forward passes) + the share of
       // optimization spent training the sequence models; optimization also
       // contains agent updates, identical across variants, so the

@@ -48,7 +48,7 @@ int main_impl() {
     no_pp.evaluator.folds = 5;
     no_pp.evaluator.forest_trees = 16;
     WallTimer t1;
-    EngineResult r_no_pp = FastFtEngine(no_pp).Run(dataset);
+    EngineResult r_no_pp = FastFtEngine(no_pp).Run(dataset).ValueOrDie();
     double no_pp_time = t1.Seconds();
     std::printf("%-12s %8.3f %10.2f %8lld\n", "FASTFT-PP",
                 r_no_pp.best_score, no_pp_time,
@@ -57,7 +57,7 @@ int main_impl() {
     EngineConfig with_pp = no_pp;
     with_pp.use_performance_predictor = true;
     WallTimer t2;
-    EngineResult r_pp = FastFtEngine(with_pp).Run(dataset);
+    EngineResult r_pp = FastFtEngine(with_pp).Run(dataset).ValueOrDie();
     double pp_time = t2.Seconds();
     std::printf("%-12s %8.3f %10.2f %8lld\n", "FASTFT", r_pp.best_score,
                 pp_time, static_cast<long long>(r_pp.downstream_evaluations));

@@ -54,7 +54,7 @@ int main_impl() {
       EngineConfig cfg = DefaultEngineConfig(2024 + 37 * s);
       cfg.episodes = bench::FullMode() ? 18 : 13;  // the paper's FastFT runs
                                                    // a much longer schedule
-      runs.push_back(FastFtEngine(cfg).Run(dataset).best_score);
+      runs.push_back(FastFtEngine(cfg).Run(dataset).ValueOrDie().best_score);
     }
     double mean = bench::Mean(runs);
     fastft_means.push_back(mean);

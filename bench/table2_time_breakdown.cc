@@ -28,7 +28,7 @@ Breakdown RunVariant(const Dataset& dataset, bool use_predictor,
   cfg.evaluator.folds = 5;
   cfg.evaluator.forest_trees = 16;
   FastFtEngine engine(cfg);
-  EngineResult r = engine.Run(dataset);
+  EngineResult r = engine.Run(dataset).ValueOrDie();
   Breakdown b;
   b.optimization = r.times.Get("optimization") / episodes;
   b.estimation = r.times.Get("estimation") / episodes;

@@ -42,7 +42,7 @@ int main_impl() {
       cfg.episodes = 16;
       cfg.evaluator.folds = 5;
       cfg.evaluator.forest_trees = 16;
-      EngineResult r = FastFtEngine(cfg).Run(dataset);
+      EngineResult r = FastFtEngine(cfg).Run(dataset).ValueOrDie();
       if (r.best_score > best.best_score) best = std::move(r);
     }
     transformed["FASTFT"] = std::move(best.best_dataset);

@@ -47,7 +47,7 @@ int main_impl() {
 
   EngineConfig cfg = bench::DefaultEngineConfig(808);
   FastFtEngine engine(cfg);
-  EngineResult result = engine.Run(dataset);
+  EngineResult result = engine.Run(dataset).ValueOrDie();
   std::printf("\nFASTFT-transformed dataset (%d features):\n",
               result.best_dataset.NumFeatures());
   PrintTopFeatures(result.best_dataset, evaluator, result.best_score);

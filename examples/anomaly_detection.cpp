@@ -43,7 +43,7 @@ int main() {
   config.cold_start_episodes = 3;
   config.seed = 91;
   fastft::FastFtEngine engine(config);
-  fastft::EngineResult result = engine.Run(dataset);
+  fastft::EngineResult result = engine.Run(dataset).ValueOrDie();
 
   std::printf("\nbase AUC %.4f → best AUC %.4f\n", result.base_score,
               result.best_score);

@@ -73,7 +73,7 @@ int main() {
   config.cold_start_episodes = 3;
   config.seed = 23;
   fastft::FastFtEngine engine(config);
-  fastft::EngineResult result = engine.Run(dataset);
+  fastft::EngineResult result = engine.Run(dataset).ValueOrDie();
 
   std::printf("base F1 %.4f → best F1 %.4f\n\n", result.base_score,
               result.best_score);

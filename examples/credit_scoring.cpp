@@ -23,7 +23,7 @@ int main() {
   config.cold_start_episodes = 3;
   config.seed = 31;
   fastft::FastFtEngine engine(config);
-  fastft::EngineResult fastft_result = engine.Run(dataset);
+  fastft::EngineResult fastft_result = engine.Run(dataset).ValueOrDie();
   std::printf("%-8s F1 %.4f  (base %.4f, %lld downstream evals)\n", "FastFT",
               fastft_result.best_score, fastft_result.base_score,
               static_cast<long long>(fastft_result.downstream_evaluations));

@@ -38,7 +38,14 @@ int main(int argc, char** argv) {
   config.seed = 7;
 
   fastft::FastFtEngine engine(config);
-  fastft::EngineResult result = engine.Run(dataset);
+  // Run returns Result<EngineResult>: invalid datasets or configs come back
+  // as a Status instead of aborting the process.
+  fastft::Result<fastft::EngineResult> run = engine.Run(dataset);
+  if (!run.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  fastft::EngineResult result = std::move(run).ValueOrDie();
 
   std::printf("\nbase score  : %.4f\n", result.base_score);
   std::printf("best score  : %.4f  (+%.4f)\n", result.best_score,

@@ -28,7 +28,7 @@ int main() {
     config.cold_start_episodes = 3;
     config.seed = 42;
     fastft::FastFtEngine engine(config);
-    fastft::EngineResult result = engine.Run(dataset);
+    fastft::EngineResult result = engine.Run(dataset).ValueOrDie();
     double gain = result.best_score - result.base_score;
     std::printf("%-14s %8.4f %8.4f %+8.4f %6d->%d\n", name,
                 result.base_score, result.best_score, gain,

@@ -22,7 +22,9 @@ BaselineResult GrfgBaseline::Run(const Dataset& dataset) {
   cfg.seed = config_.seed;
 
   FastFtEngine engine(cfg);
-  EngineResult er = engine.Run(dataset);
+  // The baseline harness only feeds datasets that already passed validation,
+  // so a failure here is a harness bug worth aborting on.
+  EngineResult er = engine.Run(dataset).ValueOrDie();
 
   BaselineResult result;
   result.base_score = er.base_score;

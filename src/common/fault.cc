@@ -1,0 +1,88 @@
+#include "common/fault.h"
+
+#include <mutex>
+
+#include "common/rng.h"
+
+namespace fastft {
+namespace {
+
+struct SiteState {
+  double probability = 0.0;
+  FaultSiteStats stats;
+};
+
+struct InjectorState {
+  std::mutex mutex;
+  uint64_t seed = 0;
+  std::map<std::string, SiteState> sites;
+};
+
+InjectorState& State() {
+  static InjectorState* state = new InjectorState();
+  return *state;
+}
+
+// FNV-1a, so the per-site stream depends on the site *name*, not on
+// registration order.
+uint64_t HashSite(const char* site) {
+  uint64_t h = 1469598103934665603ull;
+  for (const char* p = site; *p != '\0'; ++p) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(*p));
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::atomic<bool> FaultInjector::armed_{false};
+
+void FaultInjector::Arm(uint64_t seed,
+                        std::map<std::string, double> site_probability) {
+  InjectorState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.seed = seed;
+  state.sites.clear();
+  for (auto& [site, p] : site_probability) {
+    SiteState s;
+    s.probability = p < 0.0 ? 0.0 : (p > 1.0 ? 1.0 : p);
+    state.sites.emplace(site, s);
+  }
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm() {
+  InjectorState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  armed_.store(false, std::memory_order_relaxed);
+  state.sites.clear();
+}
+
+bool FaultInjector::ShouldFail(const char* site) {
+  InjectorState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  // Unlisted sites never fire, but their hits are still counted: Stats()
+  // then shows every fault point reached while armed, which is how a test
+  // discovers the site names a code path exposes.
+  SiteState& s = state.sites[site];
+  int64_t hit = s.stats.hits++;
+  // Decision = pure function of (seed, site name, hit index).
+  uint64_t stream = state.seed ^ HashSite(site) ^
+                    (static_cast<uint64_t>(hit) * 0x9E3779B97F4A7C15ull);
+  uint64_t draw = SplitMix64(stream);
+  double u = static_cast<double>(draw >> 11) * 0x1.0p-53;
+  bool fire = u < s.probability;
+  if (fire) ++s.stats.fires;
+  return fire;
+}
+
+std::map<std::string, FaultSiteStats> FaultInjector::Stats() {
+  InjectorState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  std::map<std::string, FaultSiteStats> out;
+  for (const auto& [site, s] : state.sites) out.emplace(site, s.stats);
+  return out;
+}
+
+}  // namespace fastft

@@ -1,0 +1,82 @@
+// Deterministic, site-keyed fault injection for robustness testing.
+//
+// A fault point names a code site, e.g.
+//
+//   if (FASTFT_FAULT_POINT("predictor/finetune")) loss = NaN;
+//
+// When the process-global injector is disarmed (the default, and the only
+// state production code ever sees) the macro evaluates one predictable
+// branch on a global flag and nothing else. When a test arms the injector
+// with a seed and per-site probabilities, each hit of a site draws from a
+// counter-keyed SplitMix64 stream, so the decision sequence is a pure
+// function of (seed, site name, hit index): the same seed and site
+// configuration reproduce the identical fault schedule, independent of any
+// other randomness in the program.
+//
+// Site naming scheme: "<component>/<operation>", lower-case, e.g.
+// "predictor/finetune", "novelty/estimate", "evaluator/evaluate",
+// "csv/read", "report/write". Sites are matched by exact string.
+
+#ifndef FASTFT_COMMON_FAULT_H_
+#define FASTFT_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace fastft {
+
+/// Per-site hit/fire counters (for test assertions).
+struct FaultSiteStats {
+  int64_t hits = 0;   // times the site was reached while armed
+  int64_t fires = 0;  // times the site was told to fail
+};
+
+class FaultInjector {
+ public:
+  /// Arms the injector. `site_probability` maps exact site names to fault
+  /// probabilities in [0, 1]; unlisted sites never fire. Resets all per-site
+  /// hit counters, so two identical runs after identical Arm() calls see the
+  /// identical fault schedule.
+  static void Arm(uint64_t seed,
+                  std::map<std::string, double> site_probability);
+
+  /// Disarms the injector and clears its configuration.
+  static void Disarm();
+
+  /// Fast gate read by FASTFT_FAULT_POINT; true after Arm().
+  static bool armed() { return armed_.load(std::memory_order_relaxed); }
+
+  /// Deterministic fault decision for one hit of `site`. Only called while
+  /// armed (the macro short-circuits otherwise).
+  static bool ShouldFail(const char* site);
+
+  /// Hit/fire counters per site since the last Arm().
+  static std::map<std::string, FaultSiteStats> Stats();
+
+ private:
+  static std::atomic<bool> armed_;
+};
+
+/// RAII arm/disarm, for tests.
+class ScopedFaultInjection {
+ public:
+  ScopedFaultInjection(uint64_t seed,
+                       std::map<std::string, double> site_probability) {
+    FaultInjector::Arm(seed, std::move(site_probability));
+  }
+  ~ScopedFaultInjection() { FaultInjector::Disarm(); }
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+};
+
+}  // namespace fastft
+
+/// True when the named site should fail this time. Disarmed: a single
+/// always-false branch on a global flag.
+#define FASTFT_FAULT_POINT(site) \
+  (::fastft::FaultInjector::armed() && ::fastft::FaultInjector::ShouldFail(site))
+
+#endif  // FASTFT_COMMON_FAULT_H_

@@ -12,6 +12,8 @@
 #include <utility>
 #include <variant>
 
+#include "common/logging.h"
+
 namespace fastft {
 
 /// Error category carried by a non-ok Status.
@@ -94,15 +96,33 @@ class Result {
     return ok() ? Status::OK() : std::get<Status>(repr_);
   }
 
-  /// Requires ok(). Undefined behaviour otherwise (checked in debug).
-  const T& value() const& { return std::get<T>(repr_); }
-  T& value() & { return std::get<T>(repr_); }
-  T&& value() && { return std::get<T>(std::move(repr_)); }
+  /// Requires ok(); aborts with the held error otherwise.
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(repr_));
+  }
 
-  /// Moves the value out; requires ok().
-  T ValueOrDie() && { return std::get<T>(std::move(repr_)); }
+  /// Moves the value out; requires ok(); aborts with the held error
+  /// otherwise.
+  T ValueOrDie() && {
+    CheckOk();
+    return std::get<T>(std::move(repr_));
+  }
 
  private:
+  void CheckOk() const {
+    FASTFT_CHECK(ok()) << "Result<> accessed without a value: "
+                       << std::get<Status>(repr_).ToString();
+  }
+
   std::variant<T, Status> repr_;
 };
 
@@ -114,5 +134,21 @@ class Result {
     ::fastft::Status _st = (expr);            \
     if (!_st.ok()) return _st;                \
   } while (0)
+
+#define FASTFT_STATUS_CONCAT_INNER_(a, b) a##b
+#define FASTFT_STATUS_CONCAT_(a, b) FASTFT_STATUS_CONCAT_INNER_(a, b)
+
+#define FASTFT_ASSIGN_OR_RETURN_IMPL_(result, lhs, expr) \
+  auto result = (expr);                                  \
+  if (!result.ok()) return result.status();              \
+  lhs = std::move(result).ValueOrDie()
+
+/// Evaluates `expr` (a Result<T>); on error returns its Status from the
+/// enclosing function, otherwise moves the value into `lhs`:
+///
+///   FASTFT_ASSIGN_OR_RETURN(Dataset ds, ReadDatasetCsv(path, "y", task));
+#define FASTFT_ASSIGN_OR_RETURN(lhs, expr)                                \
+  FASTFT_ASSIGN_OR_RETURN_IMPL_(                                          \
+      FASTFT_STATUS_CONCAT_(_fastft_result_or_, __LINE__), lhs, expr)
 
 #endif  // FASTFT_COMMON_STATUS_H_

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <string>
 #include <unordered_set>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -75,7 +78,66 @@ double TopPercentileThreshold(std::vector<double> values, double percent) {
   return Quantile(std::move(values), 1.0 - percent / 100.0);
 }
 
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
 }  // namespace
+
+Status ValidateEngineConfig(const EngineConfig& config) {
+  auto invalid = [](std::string msg) {
+    return Status::InvalidArgument("invalid EngineConfig: " + std::move(msg));
+  };
+  if (config.episodes < 1) {
+    return invalid("episodes must be >= 1, got " +
+                   std::to_string(config.episodes));
+  }
+  if (config.steps_per_episode < 1) {
+    return invalid("steps_per_episode must be >= 1, got " +
+                   std::to_string(config.steps_per_episode));
+  }
+  if (config.cold_start_episodes < 1) {
+    return invalid(
+        "cold_start_episodes must be >= 1 (the cold start anchors the "
+        "evaluation components), got " +
+        std::to_string(config.cold_start_episodes));
+  }
+  if (config.memory_size < 1) {
+    return invalid("memory_size must be >= 1, got " +
+                   std::to_string(config.memory_size));
+  }
+  if (config.finetune_batch < 1) {
+    return invalid("finetune_batch must be >= 1, got " +
+                   std::to_string(config.finetune_batch));
+  }
+  if (config.finetune_epochs < 0) {
+    return invalid("finetune_epochs must be >= 0, got " +
+                   std::to_string(config.finetune_epochs));
+  }
+  if (!(config.alpha_percentile >= 0.0 && config.alpha_percentile <= 100.0)) {
+    return invalid("alpha_percentile must be in [0, 100], got " +
+                   std::to_string(config.alpha_percentile));
+  }
+  if (!(config.beta_percentile >= 0.0 && config.beta_percentile <= 100.0)) {
+    return invalid("beta_percentile must be in [0, 100], got " +
+                   std::to_string(config.beta_percentile));
+  }
+  if (!(config.epsilon_start >= 0.0 && config.epsilon_start <= 1.0) ||
+      !(config.epsilon_end >= 0.0 && config.epsilon_end <= 1.0)) {
+    return invalid("epsilon_start/epsilon_end must be in [0, 1]");
+  }
+  if (!std::isfinite(config.novelty_weight_start) ||
+      !std::isfinite(config.novelty_weight_end)) {
+    return invalid("novelty weights must be finite");
+  }
+  if (config.novelty_decay_steps < 1) {
+    return invalid("novelty_decay_steps must be >= 1, got " +
+                   std::to_string(config.novelty_decay_steps));
+  }
+  if (config.tokenizer_feature_buckets < 1 || config.tokenizer_max_length < 1) {
+    return invalid("tokenizer_feature_buckets and tokenizer_max_length must "
+                   "be >= 1");
+  }
+  return Status::OK();
+}
 
 const char* RlFrameworkName(RlFramework framework) {
   switch (framework) {
@@ -95,9 +157,17 @@ const char* RlFrameworkName(RlFramework framework) {
 
 FastFtEngine::FastFtEngine(EngineConfig config) : config_(std::move(config)) {}
 
-EngineResult FastFtEngine::Run(const Dataset& dataset) {
-  FASTFT_CHECK(dataset.Validate().ok()) << dataset.Validate().ToString();
+Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
+  Status dataset_status = dataset.Validate();
+  if (!dataset_status.ok()) {
+    return Status::InvalidArgument(
+        "cannot run on invalid dataset '" + dataset.name + "': " +
+        dataset_status.message() +
+        " (check inputs with Dataset::Validate() before Run)");
+  }
+  FASTFT_RETURN_NOT_OK(ValidateEngineConfig(config_));
   EngineResult result;
+  HealthReport& health = result.health;
   Rng rng(config_.seed);
 
   // Substrate setup.
@@ -127,11 +197,21 @@ EngineResult FastFtEngine::Run(const Dataset& dataset) {
   std::unique_ptr<CascadePolicy> policy = MakePolicy(config_);
   PrioritizedReplayBuffer buffer(config_.memory_size);
 
-  // Baseline downstream score of the untouched dataset.
+  // Baseline downstream score of the untouched dataset. This score anchors
+  // every later degradation fallback, so a non-finite baseline is the one
+  // component failure the run cannot absorb — it surfaces as a Status.
   {
     ScopedTimer timer(&result.times, kEval);
-    result.base_score = evaluator.Evaluate(dataset);
+    double base = evaluator.Evaluate(dataset);
     ++result.downstream_evaluations;
+    if (FASTFT_FAULT_POINT("evaluator/base")) base = kNaN;
+    if (!std::isfinite(base)) {
+      return Status::Internal(
+          "baseline downstream evaluation of '" + dataset.name +
+          "' returned a non-finite score; the run has no anchor to degrade "
+          "to (check the dataset's labels and the evaluator configuration)");
+    }
+    result.base_score = base;
   }
   result.best_score = result.base_score;
   result.best_dataset = dataset;
@@ -230,20 +310,43 @@ EngineResult FastFtEngine::Run(const Dataset& dataset) {
       const std::vector<int> step_tokens = t.tokens;
 
       // --- Reward estimation (Algorithm 2 lines 4-10). ---
+      // Each component call is guarded: an injected fault or a genuinely
+      // non-finite output drops the value, quarantines the component, and
+      // the loop continues in the matching ablation mode (-PP / -NE).
       double predicted = 0.0;
       double novelty_score = 0.0;
+      bool have_prediction = false;
       if (components_ready) {
         ScopedTimer timer(&result.times, kEst);
-        if (config_.use_performance_predictor) {
+        if (config_.use_performance_predictor &&
+            !health.predictor.quarantined()) {
           predicted = predictor.Predict(t.tokens);
           ++result.predictor_estimations;
+          if (FASTFT_FAULT_POINT("predictor/predict")) predicted = kNaN;
+          if (!std::isfinite(predicted)) {
+            health.RecordComponentFault(&health.predictor);
+            predicted = 0.0;
+          } else {
+            have_prediction = true;
+          }
         }
-        if (config_.use_novelty) {
+        if (config_.use_novelty && !health.novelty.quarantined()) {
           novelty_score = novelty.NormalizedNovelty(t.tokens);
+          if (FASTFT_FAULT_POINT("novelty/estimate")) novelty_score = kNaN;
+          if (!std::isfinite(novelty_score)) {
+            health.RecordComponentFault(&health.novelty);
+            novelty_score = 0.0;
+          }
         }
       }
+      // Effective availability for the rest of this step; a component
+      // quarantined above degrades the step to the matching ablation path.
+      const bool pp_on = config_.use_performance_predictor &&
+                         !health.predictor.quarantined();
+      const bool ne_on =
+          config_.use_novelty && !health.novelty.quarantined();
 
-      bool run_downstream = cold || !config_.use_performance_predictor;
+      bool run_downstream = cold || !pp_on;
       if (!run_downstream && components_ready) {
         // Strict comparisons: with clamped or discretized scores, ties at
         // the threshold must not all trigger (that would defeat the
@@ -253,7 +356,7 @@ EngineResult FastFtEngine::Run(const Dataset& dataset) {
             predicted > TopPercentileThreshold(prediction_history[step],
                                                config_.alpha_percentile);
         bool novelty_trigger =
-            config_.use_novelty && config_.beta_percentile > 0.0 &&
+            ne_on && config_.beta_percentile > 0.0 &&
             novelty_score > TopPercentileThreshold(novelty_history[step],
                                                    config_.beta_percentile);
         run_downstream = perf_trigger || novelty_trigger;
@@ -264,11 +367,11 @@ EngineResult FastFtEngine::Run(const Dataset& dataset) {
           run_downstream = false;
         }
       }
-      if (!cold && config_.use_performance_predictor) ++warm_steps;
-      if (config_.use_performance_predictor && components_ready) {
+      if (!cold && pp_on) ++warm_steps;
+      if (pp_on && components_ready) {
         prediction_history[step].push_back(predicted);
       }
-      if (config_.use_novelty && components_ready) {
+      if (ne_on && components_ready) {
         novelty_history[step].push_back(novelty_score);
       }
 
@@ -279,10 +382,22 @@ EngineResult FastFtEngine::Run(const Dataset& dataset) {
         v = prev_perf;
       } else if (run_downstream) {
         ScopedTimer timer(&result.times, kEval);
-        v = evaluator.Evaluate(space.ToDataset());
+        double measured = evaluator.Evaluate(space.ToDataset());
         ++result.downstream_evaluations;
-        if (!cold && config_.use_performance_predictor) ++warm_evals;
-        sequence_records.push_back({t.tokens, v});
+        if (FASTFT_FAULT_POINT("evaluator/evaluate")) measured = kNaN;
+        if (!std::isfinite(measured)) {
+          // Guard: drop the poisoned measurement and fall back to the
+          // predicted value (or carry the previous performance). The
+          // evaluator is ground truth, so it degrades per call — skip and
+          // count — rather than by quarantine.
+          health.RecordEvaluatorFault();
+          run_downstream = false;
+          v = have_prediction ? predicted : prev_perf;
+        } else {
+          v = measured;
+          if (!cold && pp_on) ++warm_evals;
+          sequence_records.push_back({t.tokens, v});
+        }
       } else {
         v = predicted;
       }
@@ -290,7 +405,7 @@ EngineResult FastFtEngine::Run(const Dataset& dataset) {
       // Eq. 5 / Eq. 6 reward with ε-decayed novelty bonus.
       double reward = v - prev_perf;
       double eps_i = 0.0;
-      if (config_.use_novelty && components_ready) {
+      if (ne_on && components_ready) {
         eps_i = config_.novelty_weight_end +
                 (config_.novelty_weight_start - config_.novelty_weight_end) *
                     std::exp(-static_cast<double>(global_step) /
@@ -367,8 +482,13 @@ EngineResult FastFtEngine::Run(const Dataset& dataset) {
       ScopedTimer timer(&result.times, kOpt);
       Rng train_rng(DeriveSeed(config_.seed, 31));
       if (config_.use_performance_predictor) {
-        predictor.Fit(sequence_records, config_.cold_start_train_epochs,
-                      &train_rng);
+        double mse = predictor.Fit(
+            sequence_records, config_.cold_start_train_epochs, &train_rng);
+        if (FASTFT_FAULT_POINT("predictor/coldstart")) mse = kNaN;
+        if (!std::isfinite(mse)) {
+          health.RecordComponentFault(&health.predictor);
+          ++health.skipped_updates;
+        }
       }
       if (config_.use_novelty) {
         std::vector<std::vector<int>> sequences;
@@ -376,7 +496,13 @@ EngineResult FastFtEngine::Run(const Dataset& dataset) {
         for (const SequenceRecord& r : sequence_records) {
           sequences.push_back(r.tokens);
         }
-        novelty.Fit(sequences, config_.cold_start_train_epochs, &train_rng);
+        double loss = novelty.Fit(sequences, config_.cold_start_train_epochs,
+                                  &train_rng);
+        if (FASTFT_FAULT_POINT("novelty/coldstart")) loss = kNaN;
+        if (!std::isfinite(loss)) {
+          health.RecordComponentFault(&health.novelty);
+          ++health.skipped_updates;
+        }
       }
       components_ready = true;
     } else if (components_ready &&
@@ -394,9 +520,37 @@ EngineResult FastFtEngine::Run(const Dataset& dataset) {
         batch.push_back({m.tokens, m.performance});
         sequences.push_back(m.tokens);
       }
-      for (int k = 0; k < config_.finetune_epochs; ++k) {
-        if (config_.use_performance_predictor) predictor.Finetune(batch);
-        if (config_.use_novelty) novelty.Finetune(sequences);
+      // One finetune round per component. Healthy: K guarded epochs, where
+      // a non-finite loss quarantines mid-round. Quarantined: the backoff
+      // counts down in finetune rounds; on expiry one probe pass decides
+      // between re-arming (recovery) and doubling the backoff.
+      auto finetune_component = [&](ComponentHealth* component,
+                                    const char* site, auto&& pass) {
+        if (component->quarantined()) {
+          if (component->TickBackoff()) {
+            double loss = pass();
+            if (FASTFT_FAULT_POINT(site)) loss = kNaN;
+            health.ResolveProbe(component, std::isfinite(loss));
+          }
+          return;
+        }
+        for (int k = 0; k < config_.finetune_epochs; ++k) {
+          double loss = pass();
+          if (FASTFT_FAULT_POINT(site)) loss = kNaN;
+          if (!std::isfinite(loss)) {
+            health.RecordComponentFault(component);
+            ++health.skipped_updates;
+            break;
+          }
+        }
+      };
+      if (config_.use_performance_predictor) {
+        finetune_component(&health.predictor, "predictor/finetune",
+                           [&] { return predictor.Finetune(batch); });
+      }
+      if (config_.use_novelty) {
+        finetune_component(&health.novelty, "novelty/finetune",
+                           [&] { return novelty.Finetune(sequences); });
       }
     }
 

@@ -28,10 +28,12 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "common/timer.h"
 #include "core/agents.h"
 #include "core/clustering.h"
 #include "core/feature_space.h"
+#include "core/health.h"
 #include "core/novelty_estimator.h"
 #include "core/performance_predictor.h"
 #include "core/q_agents.h"
@@ -135,14 +137,28 @@ struct EngineResult {
   int64_t downstream_evaluations = 0;
   int64_t predictor_estimations = 0;
   int total_steps = 0;
+  /// Faults observed, updates skipped, quarantines, and recoveries during
+  /// the run (all zero on a healthy run).
+  HealthReport health;
 };
+
+/// Rejects configurations the engine cannot run (non-positive schedules,
+/// out-of-range percentiles, ...) with an actionable message.
+Status ValidateEngineConfig(const EngineConfig& config);
 
 class FastFtEngine {
  public:
   explicit FastFtEngine(EngineConfig config);
 
   /// Runs the full pipeline; deterministic given config.seed.
-  EngineResult Run(const Dataset& dataset);
+  ///
+  /// Invalid datasets/configurations surface as a Status instead of
+  /// aborting. Component failures mid-run (injected faults, non-finite
+  /// losses or scores) never abort either: the failing component is
+  /// quarantined — the engine continues in the matching FASTFT^-PP /
+  /// FASTFT^-NE ablation mode — re-armed with exponential backoff, and the
+  /// outcome is recorded in EngineResult::health.
+  Result<EngineResult> Run(const Dataset& dataset);
 
   const EngineConfig& config() const { return config_; }
 

@@ -1,0 +1,87 @@
+#include "core/health.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace fastft {
+namespace {
+
+// Backoff is measured in finetune rounds; past this width a component is
+// effectively retired for the rest of a normal-length run.
+constexpr int kMaxBackoffRounds = 8;
+
+void AppendComponentJson(std::ostringstream& out, const ComponentHealth& c) {
+  out << "\"" << c.name << "\": {"
+      << "\"state\": \"" << ComponentStateName(c.state) << "\", "
+      << "\"faults\": " << c.faults << ", "
+      << "\"quarantines\": " << c.quarantines << ", "
+      << "\"recovery_attempts\": " << c.recovery_attempts << ", "
+      << "\"recoveries\": " << c.recoveries << "}";
+}
+
+}  // namespace
+
+const char* ComponentStateName(ComponentState state) {
+  switch (state) {
+    case ComponentState::kHealthy:
+      return "healthy";
+    case ComponentState::kQuarantined:
+      return "quarantined";
+  }
+  return "?";
+}
+
+bool ComponentHealth::TickBackoff() {
+  if (state != ComponentState::kQuarantined) return false;
+  if (rounds_until_retry > 0) --rounds_until_retry;
+  return rounds_until_retry == 0;
+}
+
+void HealthReport::RecordComponentFault(ComponentHealth* component) {
+  ++faults_observed;
+  ++component->faults;
+  if (component->state == ComponentState::kHealthy) {
+    component->state = ComponentState::kQuarantined;
+    ++component->quarantines;
+    component->rounds_until_retry = component->backoff_rounds;
+  }
+}
+
+void HealthReport::RecordEvaluatorFault() {
+  ++faults_observed;
+  ++evaluator_faults;
+  ++skipped_updates;
+}
+
+void HealthReport::ResolveProbe(ComponentHealth* component, bool success) {
+  ++component->recovery_attempts;
+  if (success) {
+    component->state = ComponentState::kHealthy;
+    ++component->recoveries;
+    component->backoff_rounds = 1;
+    component->rounds_until_retry = 0;
+  } else {
+    ++faults_observed;
+    ++component->faults;
+    component->backoff_rounds =
+        std::min(component->backoff_rounds * 2, kMaxBackoffRounds);
+    component->rounds_until_retry = component->backoff_rounds;
+  }
+}
+
+std::string HealthReport::ToJson() const {
+  std::ostringstream out;
+  out << "{\"faults_observed\": " << faults_observed
+      << ", \"evaluator_faults\": " << evaluator_faults
+      << ", \"skipped_updates\": " << skipped_updates
+      << ", \"quarantines\": " << total_quarantines()
+      << ", \"recovery_attempts\": " << total_recovery_attempts()
+      << ", \"recoveries\": " << total_recoveries() << ", ";
+  AppendComponentJson(out, predictor);
+  out << ", ";
+  AppendComponentJson(out, novelty);
+  out << "}";
+  return out.str();
+}
+
+}  // namespace fastft

@@ -1,0 +1,93 @@
+// Run-health bookkeeping for the fault-tolerant engine loop.
+//
+// The engine guards its failure-prone components (Performance Predictor,
+// Novelty Estimator, downstream evaluator) with a degradation ladder:
+//
+//   guard            detect an injected fault or a non-finite loss/score
+//   skip update      drop the poisoned value instead of propagating it
+//   quarantine       disable the component; the engine keeps running in the
+//                    matching ablation mode (FASTFT^-PP / FASTFT^-NE)
+//   backoff re-arm   retry the component after 1, 2, 4, ... finetune rounds
+//
+// All transitions are counted here so a run can report what went wrong and
+// what recovered. The report is deterministic: identical runs (same seed,
+// same fault schedule) produce identical HealthReports.
+
+#ifndef FASTFT_CORE_HEALTH_H_
+#define FASTFT_CORE_HEALTH_H_
+
+#include <cstdint>
+#include <string>
+
+namespace fastft {
+
+enum class ComponentState { kHealthy, kQuarantined };
+
+const char* ComponentStateName(ComponentState state);
+
+/// Degradation state machine of one guarded component.
+struct ComponentHealth {
+  std::string name;
+  ComponentState state = ComponentState::kHealthy;
+
+  int64_t faults = 0;             // guard trips (injected or non-finite)
+  int64_t quarantines = 0;        // healthy -> quarantined transitions
+  int64_t recovery_attempts = 0;  // re-arm probes after backoff expiry
+  int64_t recoveries = 0;         // probes that restored the component
+
+  /// Current backoff width in finetune rounds (1, 2, 4, ... capped).
+  int backoff_rounds = 1;
+  /// Rounds left before the next recovery probe (while quarantined).
+  int rounds_until_retry = 0;
+
+  bool quarantined() const { return state == ComponentState::kQuarantined; }
+
+  /// Advances the backoff countdown by one finetune round. Returns true
+  /// when a recovery probe is due this round. No-op while healthy.
+  bool TickBackoff();
+};
+
+/// Aggregated fault/degradation counters for one engine run.
+struct HealthReport {
+  ComponentHealth predictor{"performance_predictor"};
+  ComponentHealth novelty{"novelty_estimator"};
+
+  int64_t faults_observed = 0;   // guard trips across all components
+  int64_t evaluator_faults = 0;  // downstream evaluations that were dropped
+  int64_t skipped_updates = 0;   // component/model updates skipped
+
+  /// Records a guard trip on `component` and quarantines it if healthy.
+  void RecordComponentFault(ComponentHealth* component);
+
+  /// Records a dropped downstream evaluation (skip-and-count; the
+  /// evaluator is ground truth, so it degrades per call, not by
+  /// quarantine).
+  void RecordEvaluatorFault();
+
+  /// Applies a recovery-probe outcome: success re-arms the component and
+  /// resets its backoff; failure doubles the backoff (capped) and restarts
+  /// the countdown.
+  void ResolveProbe(ComponentHealth* component, bool success);
+
+  int64_t total_quarantines() const {
+    return predictor.quarantines + novelty.quarantines;
+  }
+  int64_t total_recovery_attempts() const {
+    return predictor.recovery_attempts + novelty.recovery_attempts;
+  }
+  int64_t total_recoveries() const {
+    return predictor.recoveries + novelty.recoveries;
+  }
+  /// True when any fault was observed or any component left Healthy state.
+  bool degraded() const {
+    return faults_observed > 0 || predictor.quarantined() ||
+           novelty.quarantined();
+  }
+
+  /// Compact single-line JSON object (embedded in the run report).
+  std::string ToJson() const;
+};
+
+}  // namespace fastft
+
+#endif  // FASTFT_CORE_HEALTH_H_

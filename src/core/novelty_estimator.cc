@@ -51,6 +51,9 @@ void NoveltyEstimator::UpdateRunningScale(double raw) {
 
 double NoveltyEstimator::NormalizedNovelty(const std::vector<int>& tokens) {
   double raw = Novelty(tokens);
+  // A diverged network must not poison the running scale; return the
+  // non-finite score untouched so the caller's guard can quarantine us.
+  if (!std::isfinite(raw)) return raw;
   UpdateRunningScale(raw);
   double var = observations_ > 1
                    ? running_var_ / static_cast<double>(observations_ - 1)

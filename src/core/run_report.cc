@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/fault.h"
+
 namespace fastft {
 namespace {
 
@@ -74,6 +76,8 @@ std::string RunReportJson(const Dataset& original,
       << ",\n";
   out << "  \"total_steps\": " << result.total_steps << ",\n";
 
+  out << "  \"health\": " << result.health.ToJson() << ",\n";
+
   out << "  \"times\": {";
   bool first = true;
   for (const auto& [bucket, seconds] : result.times.buckets()) {
@@ -127,7 +131,9 @@ std::string RunReportJson(const Dataset& original,
 Status WriteRunReport(const Dataset& original, const EngineResult& result,
                       const std::string& path) {
   std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  if (!out || FASTFT_FAULT_POINT("report/write")) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
   out << RunReportJson(original, result);
   return out.good() ? Status::OK() : Status::IOError("write failed: " + path);
 }

@@ -7,21 +7,71 @@
 #include <utility>
 #include <vector>
 
+#include "common/fault.h"
+
 namespace fastft {
 namespace {
 
-std::vector<std::string> SplitLine(const std::string& line) {
-  std::vector<std::string> cells;
-  std::string cell;
-  std::stringstream ss(line);
-  while (std::getline(ss, cell, ',')) {
-    // Trim surrounding whitespace and CR.
-    size_t b = cell.find_first_not_of(" \t\r");
-    size_t e = cell.find_last_not_of(" \t\r");
-    cells.push_back(b == std::string::npos ? "" : cell.substr(b, e - b + 1));
+void TrimWhitespaceAndCr(std::string* cell) {
+  size_t b = cell->find_first_not_of(" \t\r");
+  if (b == std::string::npos) {
+    cell->clear();
+    return;
   }
-  if (!line.empty() && line.back() == ',') cells.push_back("");
-  return cells;
+  size_t e = cell->find_last_not_of(" \t\r");
+  *cell = cell->substr(b, e - b + 1);
+}
+
+// RFC-4180-style split of one physical line: commas inside double-quoted
+// cells are literal, "" inside a quoted cell is an escaped quote, and
+// unquoted cells are trimmed of surrounding whitespace / CR (so CRLF input
+// parses cleanly). Embedded newlines in quoted cells are not supported.
+Status SplitLine(const std::string& line, std::vector<std::string>* cells) {
+  cells->clear();
+  std::string cell;
+  bool quoted = false;     // cell started with an opening quote
+  bool in_quotes = false;  // currently inside the quoted region
+  auto flush = [&]() {
+    if (!quoted) TrimWhitespaceAndCr(&cell);
+    cells->push_back(cell);
+    cell.clear();
+    quoted = false;
+  };
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else if (c == '"' && !quoted &&
+               cell.find_first_not_of(" \t") == std::string::npos) {
+      in_quotes = true;
+      quoted = true;
+      cell.clear();
+    } else if (c == ',') {
+      flush();
+    } else {
+      cell += c;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument(
+        "unterminated quoted field (embedded newlines in quoted CSV cells "
+        "are not supported)");
+  }
+  flush();
+  return Status::OK();
+}
+
+bool IsBlankLine(const std::string& line) {
+  return line.find_first_not_of(" \t\r") == std::string::npos;
 }
 
 bool TryParseDouble(const std::string& s, double* out) {
@@ -38,26 +88,36 @@ bool TryParseDouble(const std::string& s, double* out) {
 Result<DataFrame> ParseCsv(const std::string& text) {
   std::stringstream ss(text);
   std::string line;
-  if (!std::getline(ss, line)) {
+  if (!std::getline(ss, line) || IsBlankLine(line)) {
     return Status::InvalidArgument("empty CSV input");
   }
-  std::vector<std::string> header = SplitLine(line);
+  std::vector<std::string> header;
+  Status header_status = SplitLine(line, &header);
+  if (!header_status.ok()) {
+    return Status::InvalidArgument("CSV header: " + header_status.message());
+  }
   const size_t num_cols = header.size();
   if (num_cols == 0) return Status::InvalidArgument("empty CSV header");
 
   std::vector<std::vector<std::string>> raw(num_cols);
-  int row = 0;
+  std::vector<std::string> cells;
+  int row = 0;  // 1-based data-row counter (header excluded), for errors
   while (std::getline(ss, line)) {
-    if (line.empty()) continue;
-    std::vector<std::string> cells = SplitLine(line);
+    if (IsBlankLine(line)) continue;
+    ++row;
+    Status row_status = SplitLine(line, &cells);
+    if (!row_status.ok()) {
+      return Status::InvalidArgument("CSV row " + std::to_string(row) + ": " +
+                                     row_status.message());
+    }
     if (cells.size() != num_cols) {
       return Status::InvalidArgument(
-          "row " + std::to_string(row) + " has " +
+          "CSV row " + std::to_string(row) + " has " +
           std::to_string(cells.size()) + " cells, expected " +
-          std::to_string(num_cols));
+          std::to_string(num_cols) + " (the header names " +
+          std::to_string(num_cols) + " columns)");
     }
     for (size_t c = 0; c < num_cols; ++c) raw[c].push_back(cells[c]);
-    ++row;
   }
 
   DataFrame frame;
@@ -86,7 +146,9 @@ Result<DataFrame> ParseCsv(const std::string& text) {
 
 Result<DataFrame> ReadCsvFile(const std::string& path) {
   std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open " + path);
+  if (!in || FASTFT_FAULT_POINT("csv/read")) {
+    return Status::IOError("cannot open " + path);
+  }
   std::stringstream buffer;
   buffer << in.rdbuf();
   return ParseCsv(buffer.str());

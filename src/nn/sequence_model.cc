@@ -1,5 +1,7 @@
 #include "nn/sequence_model.h"
 
+#include <cmath>
+
 #include "common/logging.h"
 #include "common/rng.h"
 
@@ -101,6 +103,12 @@ double SequenceModel::TrainStep(const std::vector<int>& tokens,
                                 double target) {
   double pred = Forward(tokens);
   double err = pred - target;
+  if (!std::isfinite(err)) {
+    // A NaN/Inf loss would poison every parameter through backprop; skip
+    // the update and surface the non-finite error to the caller.
+    ++non_finite_skips_;
+    return err * err;
+  }
   // d(0.5*err^2)/d pred = err; backprop through head then backbone.
   Matrix d_out(1, head_.out_dim());
   d_out(0, 0) = err;

@@ -60,7 +60,14 @@ class SequenceModel {
 
   /// Accumulates gradients of 0.5*(Forward(tokens) - target)^2.
   /// Returns the squared error. Call optimizer Step() to apply.
+  /// Guard: when the prediction or target is non-finite the step skips the
+  /// backward pass entirely (no gradient is accumulated, parameters stay
+  /// finite), increments non_finite_skips(), and returns the (non-finite)
+  /// squared error so callers can quarantine the diverged model.
   double TrainStep(const std::vector<int>& tokens, double target);
+
+  /// Number of TrainStep calls skipped because of a non-finite loss.
+  int64_t non_finite_skips() const { return non_finite_skips_; }
 
   /// Gradient step helper: clip + Adam step over this model's params.
   void ApplyStep();
@@ -91,6 +98,7 @@ class SequenceModel {
   Mlp head_;
   std::unique_ptr<AdamOptimizer> optimizer_;
   int last_len_ = 0;
+  int64_t non_finite_skips_ = 0;
 };
 
 }  // namespace nn

@@ -53,6 +53,54 @@ TEST(ResultTest, MoveOutValue) {
   EXPECT_EQ(v, "payload");
 }
 
+TEST(ResultDeathTest, ValueAccessOnErrorChecks) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_DEATH(r.value(), "Result<> accessed without a value");
+}
+
+TEST(ResultDeathTest, ValueOrDieOnErrorChecks) {
+  Result<int> r(Status::IOError("disk gone"));
+  EXPECT_DEATH(std::move(r).ValueOrDie(), "disk gone");
+}
+
+Result<int> HalveEven(int v) {
+  if (v % 2 != 0) return Status::InvalidArgument("odd input");
+  return v / 2;
+}
+
+Status SumOfHalves(int a, int b, int* out) {
+  int x = 0;
+  FASTFT_ASSIGN_OR_RETURN(x, HalveEven(a));
+  FASTFT_ASSIGN_OR_RETURN(int y, HalveEven(b));  // also declares
+  *out = x + y;
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnUnwrapsValues) {
+  int out = -1;
+  ASSERT_TRUE(SumOfHalves(4, 6, &out).ok());
+  EXPECT_EQ(out, 5);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  int out = -1;
+  Status s = SumOfHalves(4, 7, &out);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(out, -1);  // second assignment never ran
+}
+
+TEST(ResultTest, AssignOrReturnMovesValue) {
+  auto make = []() -> Result<std::string> { return std::string("abc"); };
+  auto use = [&](std::string* out) -> Status {
+    FASTFT_ASSIGN_OR_RETURN(*out, make());
+    return Status::OK();
+  };
+  std::string out;
+  ASSERT_TRUE(use(&out).ok());
+  EXPECT_EQ(out, "abc");
+}
+
 TEST(RngTest, DeterministicGivenSeed) {
   Rng a(123), b(123);
   for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());

@@ -27,6 +27,62 @@ TEST(CsvTest, RaggedRowIsError) {
   EXPECT_FALSE(ParseCsv("a,b\n1\n").ok());
 }
 
+TEST(CsvTest, RaggedRowErrorNamesRowAndCounts) {
+  auto r = ParseCsv("a,b,c\n1,2,3\n4,5\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // 1-based data-row numbering (the bad row is the second one) with
+  // expected/actual cell counts, so the user can find the line.
+  EXPECT_NE(r.status().message().find("row 2"), std::string::npos)
+      << r.status().message();
+  EXPECT_NE(r.status().message().find("has 2"), std::string::npos);
+  EXPECT_NE(r.status().message().find("expected 3"), std::string::npos);
+}
+
+TEST(CsvTest, RaggedRowNumberSkipsBlankLines) {
+  auto r = ParseCsv("a,b\n1,2\n\n3,4\n5\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("row 3"), std::string::npos)
+      << r.status().message();
+}
+
+TEST(CsvTest, QuotedFieldKeepsComma) {
+  auto r = ParseCsv("name,v\n\"a,b\",1\n");
+  ASSERT_TRUE(r.ok());
+  // "a,b" is one categorical cell, not a ragged row.
+  EXPECT_EQ(r.value().NumCols(), 2);
+  EXPECT_EQ(r.value().NumRows(), 1);
+}
+
+TEST(CsvTest, EscapedQuoteInsideQuotedField) {
+  auto r = ParseCsv("name,v\n\"say \"\"hi\"\"\",1\n\"plain\",2\n");
+  ASSERT_TRUE(r.ok());
+  // Two distinct categorical values → codes 0 and 1 in first-seen order.
+  EXPECT_DOUBLE_EQ(r.value().At(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(r.value().At(1, 0), 1.0);
+}
+
+TEST(CsvTest, QuotedHeaderWithCommaAndCrlf) {
+  auto r = ParseCsv("\"x, raw\",y\r\n1,2\r\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().Name(0), "x, raw");
+  EXPECT_DOUBLE_EQ(r.value().At(0, 1), 2.0);
+}
+
+TEST(CsvTest, QuotedNumericCellStillNumeric) {
+  auto r = ParseCsv("x\n\"1.5\"\n\"2.5\"\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().At(1, 0), 2.5);
+}
+
+TEST(CsvTest, UnterminatedQuoteIsError) {
+  auto r = ParseCsv("a,b\n\"unclosed,1\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("unterminated"), std::string::npos)
+      << r.status().message();
+}
+
 TEST(CsvTest, SkipsBlankLines) {
   auto r = ParseCsv("a\n1\n\n2\n");
   ASSERT_TRUE(r.ok());

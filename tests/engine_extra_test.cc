@@ -36,7 +36,7 @@ TEST(EngineBudgetTest, WarmEvaluationsRespectAlphaBetaBudget) {
   cfg.episodes = 12;
   cfg.alpha_percentile = 10;
   cfg.beta_percentile = 5;
-  EngineResult r = FastFtEngine(cfg).Run(SmallDataset());
+  EngineResult r = FastFtEngine(cfg).Run(SmallDataset()).ValueOrDie();
   int warm_steps = 0, warm_evals = 0;
   for (const StepTrace& t : r.trace) {
     if (t.episode >= cfg.cold_start_episodes) {
@@ -54,7 +54,7 @@ TEST(EngineBudgetTest, ZeroBudgetNoWarmEvals) {
   EngineConfig cfg = QuickConfig(6);
   cfg.alpha_percentile = 0;
   cfg.beta_percentile = 0;
-  EngineResult r = FastFtEngine(cfg).Run(SmallDataset());
+  EngineResult r = FastFtEngine(cfg).Run(SmallDataset()).ValueOrDie();
   for (const StepTrace& t : r.trace) {
     if (t.episode >= cfg.cold_start_episodes) {
       EXPECT_FALSE(t.downstream_evaluated);
@@ -89,8 +89,8 @@ TEST(ExplorationAnnealTest, AnnealingChangesTrajectoriesVsConstant) {
   fast_decay.epsilon_decay_steps = 5;
   EngineConfig slow_decay = fast_decay;
   slow_decay.epsilon_decay_steps = 100000;  // effectively constant 0.5
-  EngineResult a = FastFtEngine(fast_decay).Run(SmallDataset());
-  EngineResult b = FastFtEngine(slow_decay).Run(SmallDataset());
+  EngineResult a = FastFtEngine(fast_decay).Run(SmallDataset()).ValueOrDie();
+  EngineResult b = FastFtEngine(slow_decay).Run(SmallDataset()).ValueOrDie();
   bool any_diff = false;
   for (size_t i = 0; i < a.trace.size() && i < b.trace.size(); ++i) {
     any_diff |= a.trace[i].top_new_feature != b.trace[i].top_new_feature;
@@ -99,7 +99,7 @@ TEST(ExplorationAnnealTest, AnnealingChangesTrajectoriesVsConstant) {
 }
 
 TEST(EngineRewardTest, RewardsAreFiniteAndBounded) {
-  EngineResult r = FastFtEngine(QuickConfig(11)).Run(SmallDataset());
+  EngineResult r = FastFtEngine(QuickConfig(11)).Run(SmallDataset()).ValueOrDie();
   for (const StepTrace& t : r.trace) {
     EXPECT_TRUE(std::isfinite(t.reward));
     EXPECT_LT(std::abs(t.reward), 10.0);
@@ -110,7 +110,7 @@ TEST(EngineRewardTest, RewardsAreFiniteAndBounded) {
 }
 
 TEST(EngineRewardTest, EpisodeBestIsMonotone) {
-  EngineResult r = FastFtEngine(QuickConfig(13)).Run(SmallDataset());
+  EngineResult r = FastFtEngine(QuickConfig(13)).Run(SmallDataset()).ValueOrDie();
   for (size_t e = 1; e < r.episode_best.size(); ++e) {
     EXPECT_GE(r.episode_best[e], r.episode_best[e - 1]);
   }
@@ -120,7 +120,7 @@ TEST(EngineScheduleTest, SingleEpisodeRun) {
   EngineConfig cfg = QuickConfig(15);
   cfg.episodes = 1;
   cfg.cold_start_episodes = 1;
-  EngineResult r = FastFtEngine(cfg).Run(SmallDataset());
+  EngineResult r = FastFtEngine(cfg).Run(SmallDataset()).ValueOrDie();
   EXPECT_EQ(r.total_steps, cfg.steps_per_episode);
   EXPECT_GE(r.best_score, r.base_score);
 }
@@ -130,7 +130,7 @@ TEST(EngineScheduleTest, ColdStartLongerThanRun) {
   EngineConfig cfg = QuickConfig(17);
   cfg.episodes = 3;
   cfg.cold_start_episodes = 10;
-  EngineResult r = FastFtEngine(cfg).Run(SmallDataset());
+  EngineResult r = FastFtEngine(cfg).Run(SmallDataset()).ValueOrDie();
   EXPECT_EQ(r.predictor_estimations, 0);
   for (const StepTrace& t : r.trace) {
     if (t.generated) {
@@ -153,7 +153,7 @@ TEST(EngineScheduleTest, TinyDatasetTwoFeatures) {
   ASSERT_TRUE(ds.features.AddColumn("a", a).ok());
   ASSERT_TRUE(ds.features.AddColumn("b", b).ok());
   ds.labels = y;
-  EngineResult r = FastFtEngine(QuickConfig(19)).Run(ds);
+  EngineResult r = FastFtEngine(QuickConfig(19)).Run(ds).ValueOrDie();
   EXPECT_GE(r.best_score, r.base_score);
   // The XOR-style interaction should be discoverable: a*b (or a variant).
   EXPECT_GT(r.best_score, 0.55);
@@ -162,14 +162,14 @@ TEST(EngineScheduleTest, TinyDatasetTwoFeatures) {
 TEST(EngineScheduleTest, LargeMemoryBufferRuns) {
   EngineConfig cfg = QuickConfig(23);
   cfg.memory_size = 256;
-  EngineResult r = FastFtEngine(cfg).Run(SmallDataset());
+  EngineResult r = FastFtEngine(cfg).Run(SmallDataset()).ValueOrDie();
   EXPECT_GE(r.best_score, r.base_score);
 }
 
 TEST(EngineScheduleTest, TraceNoveltyZeroWhenDisabled) {
   EngineConfig cfg = QuickConfig(29);
   cfg.use_novelty = false;
-  EngineResult r = FastFtEngine(cfg).Run(SmallDataset());
+  EngineResult r = FastFtEngine(cfg).Run(SmallDataset()).ValueOrDie();
   for (const StepTrace& t : r.trace) EXPECT_DOUBLE_EQ(t.novelty, 0.0);
 }
 

@@ -34,7 +34,7 @@ Dataset SmallDataset() {
 
 TEST(EngineTest, RunsAndImprovesOrMatchesBase) {
   FastFtEngine engine(FastConfig());
-  EngineResult r = engine.Run(SmallDataset());
+  EngineResult r = engine.Run(SmallDataset()).ValueOrDie();
   EXPECT_GE(r.best_score, r.base_score);
   EXPECT_GT(r.best_score, 0.0);
   EXPECT_EQ(r.total_steps, 5 * 4);
@@ -44,8 +44,8 @@ TEST(EngineTest, RunsAndImprovesOrMatchesBase) {
 }
 
 TEST(EngineTest, DeterministicGivenSeed) {
-  EngineResult a = FastFtEngine(FastConfig(7)).Run(SmallDataset());
-  EngineResult b = FastFtEngine(FastConfig(7)).Run(SmallDataset());
+  EngineResult a = FastFtEngine(FastConfig(7)).Run(SmallDataset()).ValueOrDie();
+  EngineResult b = FastFtEngine(FastConfig(7)).Run(SmallDataset()).ValueOrDie();
   EXPECT_DOUBLE_EQ(a.best_score, b.best_score);
   ASSERT_EQ(a.trace.size(), b.trace.size());
   for (size_t i = 0; i < a.trace.size(); ++i) {
@@ -54,8 +54,8 @@ TEST(EngineTest, DeterministicGivenSeed) {
 }
 
 TEST(EngineTest, SeedsChangeTrajectories) {
-  EngineResult a = FastFtEngine(FastConfig(7)).Run(SmallDataset());
-  EngineResult b = FastFtEngine(FastConfig(8)).Run(SmallDataset());
+  EngineResult a = FastFtEngine(FastConfig(7)).Run(SmallDataset()).ValueOrDie();
+  EngineResult b = FastFtEngine(FastConfig(8)).Run(SmallDataset()).ValueOrDie();
   bool any_diff = false;
   for (size_t i = 0; i < a.trace.size(); ++i) {
     any_diff |= (a.trace[i].reward != b.trace[i].reward);
@@ -66,7 +66,7 @@ TEST(EngineTest, SeedsChangeTrajectories) {
 TEST(EngineTest, ColdStartAlwaysEvaluatesDownstream) {
   EngineConfig cfg = FastConfig();
   FastFtEngine engine(cfg);
-  EngineResult r = engine.Run(SmallDataset());
+  EngineResult r = engine.Run(SmallDataset()).ValueOrDie();
   for (const StepTrace& t : r.trace) {
     if (t.episode < cfg.cold_start_episodes && t.generated) {
       EXPECT_TRUE(t.downstream_evaluated)
@@ -80,8 +80,8 @@ TEST(EngineTest, PredictorReducesDownstreamEvaluations) {
   with.episodes = 8;
   EngineConfig without = with;
   without.use_performance_predictor = false;
-  EngineResult r_with = FastFtEngine(with).Run(SmallDataset());
-  EngineResult r_without = FastFtEngine(without).Run(SmallDataset());
+  EngineResult r_with = FastFtEngine(with).Run(SmallDataset()).ValueOrDie();
+  EngineResult r_without = FastFtEngine(without).Run(SmallDataset()).ValueOrDie();
   EXPECT_LT(r_with.downstream_evaluations, r_without.downstream_evaluations);
   EXPECT_GT(r_with.predictor_estimations, 0);
   EXPECT_EQ(r_without.predictor_estimations, 0);
@@ -94,14 +94,14 @@ TEST(EngineTest, AblationFlagsRun) {
     cfg.use_performance_predictor = mask & 1;
     cfg.use_novelty = mask & 2;
     cfg.prioritized_replay = mask & 4;
-    EngineResult r = FastFtEngine(cfg).Run(SmallDataset());
+    EngineResult r = FastFtEngine(cfg).Run(SmallDataset()).ValueOrDie();
     EXPECT_GE(r.best_score, r.base_score) << "mask " << mask;
   }
 }
 
 TEST(EngineTest, TimeBucketsCoverRun) {
   FastFtEngine engine(FastConfig());
-  EngineResult r = engine.Run(SmallDataset());
+  EngineResult r = engine.Run(SmallDataset()).ValueOrDie();
   EXPECT_GT(r.times.Get("evaluation"), 0.0);
   EXPECT_GT(r.times.Get("optimization"), 0.0);
   // Estimation bucket only active once components are trained.
@@ -111,7 +111,7 @@ TEST(EngineTest, TimeBucketsCoverRun) {
 TEST(EngineTest, NoveltyMetricsCollectedOnDemand) {
   EngineConfig cfg = FastConfig();
   cfg.collect_novelty_metrics = true;
-  EngineResult r = FastFtEngine(cfg).Run(SmallDataset());
+  EngineResult r = FastFtEngine(cfg).Run(SmallDataset()).ValueOrDie();
   bool any_distance = false;
   int last_unseen = 0;
   for (const StepTrace& t : r.trace) {
@@ -124,7 +124,7 @@ TEST(EngineTest, NoveltyMetricsCollectedOnDemand) {
 }
 
 TEST(EngineTest, TraceNamesGeneratedFeatures) {
-  EngineResult r = FastFtEngine(FastConfig()).Run(SmallDataset());
+  EngineResult r = FastFtEngine(FastConfig()).Run(SmallDataset()).ValueOrDie();
   bool any_named = false;
   for (const StepTrace& t : r.trace) any_named |= !t.top_new_feature.empty();
   EXPECT_TRUE(any_named);
@@ -136,7 +136,7 @@ TEST_P(FrameworkTest, AllRlFrameworksRun) {
   EngineConfig cfg = FastConfig(33);
   cfg.episodes = 3;
   cfg.framework = GetParam();
-  EngineResult r = FastFtEngine(cfg).Run(SmallDataset());
+  EngineResult r = FastFtEngine(cfg).Run(SmallDataset()).ValueOrDie();
   EXPECT_GE(r.best_score, r.base_score);
   EXPECT_EQ(r.total_steps, 3 * 4);
 }
@@ -153,7 +153,7 @@ TEST_P(EngineBackboneTest, AllSequenceBackbonesRun) {
   EngineConfig cfg = FastConfig(44);
   cfg.episodes = 4;
   cfg.backbone = GetParam();
-  EngineResult r = FastFtEngine(cfg).Run(SmallDataset());
+  EngineResult r = FastFtEngine(cfg).Run(SmallDataset()).ValueOrDie();
   EXPECT_GE(r.best_score, r.base_score);
 }
 
@@ -167,7 +167,7 @@ TEST(EngineTest, RegressionTaskRuns) {
   spec.samples = 130;
   spec.features = 6;
   Dataset ds = MakeRegression(spec);
-  EngineResult r = FastFtEngine(FastConfig(55)).Run(ds);
+  EngineResult r = FastFtEngine(FastConfig(55)).Run(ds).ValueOrDie();
   EXPECT_GE(r.best_score, r.base_score);
   EXPECT_TRUE(r.best_dataset.task == TaskType::kRegression);
 }
@@ -178,7 +178,7 @@ TEST(EngineTest, DetectionTaskRuns) {
   spec.features = 6;
   spec.anomaly_rate = 0.12;
   Dataset ds = MakeDetection(spec);
-  EngineResult r = FastFtEngine(FastConfig(66)).Run(ds);
+  EngineResult r = FastFtEngine(FastConfig(66)).Run(ds).ValueOrDie();
   EXPECT_GE(r.best_score, r.base_score);
 }
 
@@ -188,7 +188,7 @@ TEST(EngineTest, ZeroThresholdsSuppressTriggers) {
   cfg.alpha_percentile = 0.0;
   cfg.beta_percentile = 0.0;
   cfg.episodes = 6;
-  EngineResult r = FastFtEngine(cfg).Run(SmallDataset());
+  EngineResult r = FastFtEngine(cfg).Run(SmallDataset()).ValueOrDie();
   for (const StepTrace& t : r.trace) {
     if (t.episode >= cfg.cold_start_episodes) {
       EXPECT_FALSE(t.downstream_evaluated);

@@ -1,0 +1,281 @@
+// Fault-injection tests: the deterministic injector itself, and the engine's
+// graceful degradation ladder (guard -> skip update -> quarantine -> backoff
+// re-arm) under injected component failures.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "core/engine.h"
+#include "core/run_report.h"
+#include "data/csv.h"
+#include "data/synthetic.h"
+
+namespace fastft {
+namespace {
+
+// --- Injector unit tests -------------------------------------------------
+
+std::vector<bool> CollectDecisions(uint64_t seed, const std::string& site,
+                                   double p, int n) {
+  ScopedFaultInjection inject(seed, {{site, p}});
+  std::vector<bool> decisions;
+  decisions.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    decisions.push_back(FASTFT_FAULT_POINT(site.c_str()));
+  }
+  return decisions;
+}
+
+TEST(FaultInjectorTest, DisarmedByDefault) {
+  EXPECT_FALSE(FaultInjector::armed());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(FASTFT_FAULT_POINT("any/site"));
+  }
+}
+
+TEST(FaultInjectorTest, SameSeedSameSchedule) {
+  std::vector<bool> a = CollectDecisions(42, "a/b", 0.5, 256);
+  std::vector<bool> b = CollectDecisions(42, "a/b", 0.5, 256);
+  EXPECT_EQ(a, b);
+  // Sanity: the schedule actually mixes fires and non-fires at p = 0.5.
+  int fires = 0;
+  for (bool d : a) fires += d;
+  EXPECT_GT(fires, 0);
+  EXPECT_LT(fires, 256);
+}
+
+TEST(FaultInjectorTest, DifferentSeedDifferentSchedule) {
+  EXPECT_NE(CollectDecisions(1, "a/b", 0.5, 256),
+            CollectDecisions(2, "a/b", 0.5, 256));
+}
+
+TEST(FaultInjectorTest, SitesDrawIndependentStreams) {
+  ScopedFaultInjection inject(7, {{"x/1", 0.5}, {"x/2", 0.5}});
+  std::vector<bool> s1, s2;
+  for (int i = 0; i < 256; ++i) {
+    s1.push_back(FASTFT_FAULT_POINT("x/1"));
+    s2.push_back(FASTFT_FAULT_POINT("x/2"));
+  }
+  EXPECT_NE(s1, s2);
+}
+
+TEST(FaultInjectorTest, ProbabilityEndpoints) {
+  ScopedFaultInjection inject(3, {{"always/fail", 1.0}, {"never/fail", 0.0}});
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_TRUE(FASTFT_FAULT_POINT("always/fail"));
+    EXPECT_FALSE(FASTFT_FAULT_POINT("never/fail"));
+    EXPECT_FALSE(FASTFT_FAULT_POINT("unlisted/site"));
+  }
+}
+
+TEST(FaultInjectorTest, FireRateTracksProbability) {
+  ScopedFaultInjection inject(11, {{"rate/check", 0.3}});
+  int fires = 0;
+  const int hits = 2000;
+  for (int i = 0; i < hits; ++i) fires += FASTFT_FAULT_POINT("rate/check");
+  EXPECT_NEAR(static_cast<double>(fires) / hits, 0.3, 0.05);
+}
+
+TEST(FaultInjectorTest, StatsCountHitsAndFires) {
+  ScopedFaultInjection inject(5, {{"counted/site", 1.0}});
+  for (int i = 0; i < 10; ++i) (void)FASTFT_FAULT_POINT("counted/site");
+  for (int i = 0; i < 4; ++i) (void)FASTFT_FAULT_POINT("uncounted/site");
+  auto stats = FaultInjector::Stats();
+  EXPECT_EQ(stats["counted/site"].hits, 10);
+  EXPECT_EQ(stats["counted/site"].fires, 10);
+  EXPECT_EQ(stats["uncounted/site"].hits, 4);
+  EXPECT_EQ(stats["uncounted/site"].fires, 0);
+}
+
+TEST(FaultInjectorTest, ArmResetsCounters) {
+  std::vector<bool> first = CollectDecisions(9, "reset/me", 0.5, 64);
+  // A fresh Arm with the same seed replays the same stream from hit 0.
+  std::vector<bool> second = CollectDecisions(9, "reset/me", 0.5, 64);
+  EXPECT_EQ(first, second);
+  EXPECT_FALSE(FaultInjector::armed());  // scopes disarmed on exit
+}
+
+// --- Engine degradation tests --------------------------------------------
+
+Dataset SmallDataset(uint64_t seed = 31) {
+  SyntheticSpec spec;
+  spec.samples = 80;
+  spec.features = 5;
+  spec.seed = seed;
+  return MakeClassification(spec);
+}
+
+// Enough episodes past the cold start for several finetune rounds, so the
+// quarantine -> backoff -> probe ladder gets exercised.
+EngineConfig FaultConfig(uint64_t seed = 7) {
+  EngineConfig cfg;
+  cfg.episodes = 8;
+  cfg.steps_per_episode = 4;
+  cfg.cold_start_episodes = 2;
+  cfg.finetune_every_episodes = 1;
+  cfg.evaluator.folds = 2;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(EngineFaultTest, PredictorFinetuneFaultQuarantinesAndRetries) {
+  ScopedFaultInjection inject(1, {{"predictor/finetune", 1.0}});
+  Result<EngineResult> run = FastFtEngine(FaultConfig()).Run(SmallDataset());
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const EngineResult& r = run.value();
+  const HealthReport& h = r.health;
+  // First poisoned finetune round quarantines the predictor; later rounds
+  // probe it (and fail again, since the site fires at 100%).
+  EXPECT_GE(h.predictor.quarantines, 1);
+  EXPECT_GE(h.predictor.recovery_attempts, 1);
+  EXPECT_EQ(h.predictor.recoveries, 0);
+  EXPECT_GE(h.faults_observed, 2);
+  EXPECT_GE(h.skipped_updates, 1);
+  EXPECT_TRUE(h.degraded());
+  // The run still finishes and never regresses below its anchor.
+  EXPECT_GE(r.best_score, r.base_score);
+  EXPECT_EQ(r.total_steps, 8 * 4);
+}
+
+TEST(EngineFaultTest, PredictFaultRecoversAfterHealthyProbe) {
+  // Poison Predict() but leave finetuning healthy: the predictor is
+  // quarantined at its first warm-phase prediction, then the next finetune
+  // round's probe succeeds and re-arms it.
+  ScopedFaultInjection inject(2, {{"predictor/predict", 1.0}});
+  Result<EngineResult> run = FastFtEngine(FaultConfig()).Run(SmallDataset());
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const HealthReport& h = run.value().health;
+  EXPECT_GE(h.predictor.quarantines, 1);
+  EXPECT_GE(h.predictor.recoveries, 1);
+}
+
+TEST(EngineFaultTest, NoveltyFaultDegradesToNoNoveltyMode) {
+  ScopedFaultInjection inject(3, {{"novelty/estimate", 1.0}});
+  Result<EngineResult> run = FastFtEngine(FaultConfig()).Run(SmallDataset());
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const EngineResult& r = run.value();
+  EXPECT_GE(r.health.novelty.quarantines, 1);
+  EXPECT_EQ(r.health.predictor.faults, 0);
+  EXPECT_GE(r.best_score, r.base_score);
+}
+
+TEST(EngineFaultTest, EvaluatorFaultSkipsMeasurementsButFinishes) {
+  // Every post-baseline evaluation fails: measurements are dropped and
+  // counted, no score is ever accepted, and the run ends at its anchor.
+  ScopedFaultInjection inject(4, {{"evaluator/evaluate", 1.0}});
+  Result<EngineResult> run = FastFtEngine(FaultConfig()).Run(SmallDataset());
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const EngineResult& r = run.value();
+  EXPECT_GT(r.health.evaluator_faults, 0);
+  EXPECT_GE(r.health.skipped_updates, r.health.evaluator_faults);
+  EXPECT_DOUBLE_EQ(r.best_score, r.base_score);
+  EXPECT_EQ(r.total_steps, 8 * 4);
+}
+
+TEST(EngineFaultTest, BaselineEvaluationFaultIsTerminal) {
+  // The base score anchors every degradation fallback; losing it is the one
+  // component failure Run cannot absorb.
+  ScopedFaultInjection inject(5, {{"evaluator/base", 1.0}});
+  Result<EngineResult> run = FastFtEngine(FaultConfig()).Run(SmallDataset());
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInternal);
+  EXPECT_NE(run.status().message().find("no anchor"), std::string::npos);
+}
+
+TEST(EngineFaultTest, HealthReportIsDeterministic) {
+  auto run_once = []() {
+    ScopedFaultInjection inject(17, {{"predictor/finetune", 0.5},
+                                     {"novelty/estimate", 0.25}});
+    return FastFtEngine(FaultConfig()).Run(SmallDataset()).ValueOrDie();
+  };
+  EngineResult a = run_once();
+  EngineResult b = run_once();
+  EXPECT_EQ(a.health.ToJson(), b.health.ToJson());
+  EXPECT_DOUBLE_EQ(a.best_score, b.best_score);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.trace[i].reward, b.trace[i].reward);
+    EXPECT_DOUBLE_EQ(a.trace[i].performance, b.trace[i].performance);
+  }
+}
+
+TEST(EngineFaultTest, ArmedWithZeroProbabilityMatchesHealthyRun) {
+  EngineResult healthy =
+      FastFtEngine(FaultConfig()).Run(SmallDataset()).ValueOrDie();
+  ScopedFaultInjection inject(23, {{"predictor/finetune", 0.0}});
+  EngineResult armed =
+      FastFtEngine(FaultConfig()).Run(SmallDataset()).ValueOrDie();
+  EXPECT_DOUBLE_EQ(armed.best_score, healthy.best_score);
+  EXPECT_EQ(armed.health.faults_observed, 0);
+  EXPECT_FALSE(armed.health.degraded());
+  ASSERT_EQ(armed.trace.size(), healthy.trace.size());
+  for (size_t i = 0; i < healthy.trace.size(); ++i) {
+    EXPECT_DOUBLE_EQ(armed.trace[i].reward, healthy.trace[i].reward);
+  }
+}
+
+// --- Non-crashing API tests ----------------------------------------------
+
+TEST(EngineFaultTest, InvalidDatasetReturnsStatus) {
+  Dataset empty;
+  empty.name = "hollow";
+  Result<EngineResult> run = FastFtEngine(FaultConfig()).Run(empty);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(run.status().message().find("hollow"), std::string::npos);
+}
+
+TEST(EngineFaultTest, InvalidConfigReturnsStatus) {
+  EngineConfig cfg = FaultConfig();
+  cfg.episodes = 0;
+  Result<EngineResult> run = FastFtEngine(cfg).Run(SmallDataset());
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(run.status().message().find("episodes"), std::string::npos);
+}
+
+TEST(EngineFaultTest, ConfigValidatorNamesBadPercentile) {
+  EngineConfig cfg = FaultConfig();
+  cfg.alpha_percentile = 250.0;
+  Status s = ValidateEngineConfig(cfg);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("alpha_percentile"), std::string::npos);
+}
+
+// --- I/O fault points -----------------------------------------------------
+
+TEST(IoFaultTest, CsvReadFaultSurfacesAsIOError) {
+  std::string path = testing::TempDir() + "/fastft_fault_io.csv";
+  std::ofstream(path) << "a,b\n1,2\n";
+  {
+    ScopedFaultInjection inject(6, {{"csv/read", 1.0}});
+    Result<DataFrame> r = ReadCsvFile(path);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+  }
+  // Disarmed, the same read works.
+  EXPECT_TRUE(ReadCsvFile(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(IoFaultTest, ReportWriteFaultSurfacesAsIOError) {
+  Dataset ds = SmallDataset();
+  EngineConfig cfg = FaultConfig();
+  cfg.episodes = 3;
+  EngineResult r = FastFtEngine(cfg).Run(ds).ValueOrDie();
+  std::string path = testing::TempDir() + "/fastft_fault_report.json";
+  {
+    ScopedFaultInjection inject(7, {{"report/write", 1.0}});
+    EXPECT_EQ(WriteRunReport(ds, r, path).code(), StatusCode::kIOError);
+  }
+  EXPECT_TRUE(WriteRunReport(ds, r, path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fastft

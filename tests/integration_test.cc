@@ -87,7 +87,7 @@ TEST(EngineProgramTest, ExtractApplyParityOnFreshRows) {
   cfg.cold_start_episodes = 2;
   cfg.evaluator.folds = 2;
   cfg.seed = 13;
-  EngineResult result = FastFtEngine(cfg).Run(train);
+  EngineResult result = FastFtEngine(cfg).Run(train).ValueOrDie();
 
   std::vector<std::string> names;
   for (int c = 0; c < train.NumFeatures(); ++c) {
@@ -122,7 +122,7 @@ TEST(EngineProgramTest, AppliedColumnsMatchEngineColumnsOnTrainRows) {
   cfg.cold_start_episodes = 2;
   cfg.evaluator.folds = 2;
   cfg.seed = 17;
-  EngineResult result = FastFtEngine(cfg).Run(train);
+  EngineResult result = FastFtEngine(cfg).Run(train).ValueOrDie();
 
   std::vector<std::string> names;
   for (int c = 0; c < train.NumFeatures(); ++c) {
@@ -163,7 +163,7 @@ TEST(EndToEndTest, FullLoopImprovesAcrossAllTasks) {
     cfg.cold_start_episodes = 2;
     cfg.evaluator.folds = 2;
     cfg.seed = 21;
-    EngineResult r = FastFtEngine(cfg).Run(ds);
+    EngineResult r = FastFtEngine(cfg).Run(ds).ValueOrDie();
     EXPECT_GE(r.best_score, r.base_score) << TaskTypeCode(task);
     EXPECT_TRUE(r.best_dataset.Validate().ok());
   }

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/rng.h"
 #include "nn/sequence_model.h"
@@ -106,6 +107,25 @@ TEST(SequenceModelTest, TrainingReducesLoss) {
   }
   EXPECT_LT(last, first);
   EXPECT_LT(last, 0.01);
+}
+
+TEST(SequenceModelTest, NonFiniteTargetSkipsUpdate) {
+  SequenceModel model(SmallConfig(Backbone::kLstm));
+  std::vector<int> tokens = {1, 5, 9, 2};
+  const double before = model.Forward(tokens);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  model.TrainStep(tokens, nan);
+  model.ApplyStep();
+  model.TrainStep(tokens, std::numeric_limits<double>::infinity());
+  model.ApplyStep();
+  // The guard drops the poisoned gradients: parameters are untouched.
+  EXPECT_DOUBLE_EQ(model.Forward(tokens), before);
+  EXPECT_EQ(model.non_finite_skips(), 2);
+  // A healthy step afterwards still learns.
+  model.TrainStep(tokens, 0.7);
+  model.ApplyStep();
+  EXPECT_NE(model.Forward(tokens), before);
+  EXPECT_EQ(model.non_finite_skips(), 2);
 }
 
 TEST(SequenceModelTest, BackboneNames) {

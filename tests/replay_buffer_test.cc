@@ -115,6 +115,58 @@ TEST(ReplayBufferTest, GetMutableAllowsPerformanceUpdate) {
   EXPECT_DOUBLE_EQ(buffer.Get(0).performance, 2.5);
 }
 
+TEST(ReplayBufferTest, CapacityOneAlwaysHoldsNewest) {
+  PrioritizedReplayBuffer buffer(1);
+  EXPECT_EQ(buffer.capacity(), 1);
+  for (int i = 0; i < 5; ++i) {
+    buffer.Add(MakeTransition(i), 1.0 + i);
+    EXPECT_EQ(buffer.size(), 1);
+    EXPECT_DOUBLE_EQ(buffer.Get(0).reward, static_cast<double>(i));
+  }
+  Rng rng(3);
+  // The single slot is the only possible draw, prioritized or not.
+  EXPECT_EQ(buffer.SampleIndex(&rng, true), 0);
+  EXPECT_EQ(buffer.SampleIndex(&rng, false), 0);
+  EXPECT_EQ(buffer.UniformSampleIndices(4, &rng).size(), 1u);
+}
+
+TEST(ReplayBufferTest, AllZeroPrioritiesStillSampleEverySlot) {
+  PrioritizedReplayBuffer buffer(3);
+  for (int i = 0; i < 3; ++i) buffer.Add(MakeTransition(i), 0.0);
+  Rng rng(4);
+  std::set<int> seen;
+  for (int i = 0; i < 600; ++i) seen.insert(buffer.SampleIndex(&rng, true));
+  // The priority floor keeps zero-TD transitions reachable (no div-by-zero,
+  // no starved slot).
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(ReplayBufferTest, SamplingMoreThanStoredClampsToSize) {
+  PrioritizedReplayBuffer buffer(8);
+  buffer.Add(MakeTransition(0), 1.0);
+  buffer.Add(MakeTransition(1), 1.0);
+  Rng rng(5);
+  std::vector<int> sample = buffer.UniformSampleIndices(100, &rng);
+  EXPECT_EQ(sample.size(), 2u);  // only 2 of 8 slots are filled
+  for (int idx : sample) EXPECT_LT(idx, buffer.size());
+}
+
+TEST(ReplayBufferTest, EvictionReplacesStalePriority) {
+  PrioritizedReplayBuffer buffer(2);
+  buffer.Add(MakeTransition(0), 100.0);
+  buffer.Add(MakeTransition(1), 1.0);
+  buffer.UpdatePriority(0, 50.0);
+  // Slot 0 is the oldest; the next Add overwrites both its transition and
+  // its (updated) priority.
+  buffer.Add(MakeTransition(2), 2.0);
+  EXPECT_DOUBLE_EQ(buffer.Get(0).reward, 2.0);
+  EXPECT_DOUBLE_EQ(buffer.Priority(0), 2.0);
+  // Priority updates after the eviction target the new occupant.
+  buffer.UpdatePriority(0, 7.0);
+  EXPECT_DOUBLE_EQ(buffer.Priority(0), 7.0);
+  EXPECT_DOUBLE_EQ(buffer.Priority(1), 1.0);
+}
+
 TEST(ReplayBufferDeathTest, OutOfRangeAccessChecks) {
   PrioritizedReplayBuffer buffer(2);
   buffer.Add(MakeTransition(0), 1.0);

@@ -19,7 +19,7 @@ EngineResult QuickRun(const Dataset& dataset) {
   cfg.cold_start_episodes = 1;
   cfg.evaluator.folds = 2;
   cfg.seed = 77;
-  return FastFtEngine(cfg).Run(dataset);
+  return FastFtEngine(cfg).Run(dataset).ValueOrDie();
 }
 
 Dataset SmallDataset() {
@@ -98,6 +98,18 @@ TEST(RunReportTest, NoNanOrInfLiterals) {
   EXPECT_EQ(json.find("nan"), std::string::npos);
   EXPECT_EQ(json.find("inf"), std::string::npos);
   EXPECT_NE(json.find("\"base_score\": null"), std::string::npos);
+}
+
+TEST(RunReportTest, ContainsHealthSection) {
+  Dataset ds = SmallDataset();
+  EngineResult r = QuickRun(ds);
+  std::string json = RunReportJson(ds, r);
+  EXPECT_NE(json.find("\"health\":"), std::string::npos);
+  EXPECT_NE(json.find("\"faults_observed\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"performance_predictor\""), std::string::npos);
+  EXPECT_NE(json.find("\"novelty_estimator\""), std::string::npos);
+  // A clean run reports both components healthy.
+  EXPECT_EQ(json.find("quarantined"), std::string::npos);
 }
 
 TEST(RunReportTest, FileWrite) {

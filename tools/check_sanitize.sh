@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Configure, build, and run the test suite under ASan and UBSan.
+#
+#   $ tools/check_sanitize.sh             # both sanitizers
+#   $ tools/check_sanitize.sh address     # just one
+#
+# Each sanitizer gets its own build tree (build-address / build-undefined).
+# Benchmarks and examples are skipped: the test suite exercises every
+# library path and the sanitized benches would only add minutes.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ $# -gt 0 ]]; then SANITIZERS=("$@"); else SANITIZERS=(address undefined); fi
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+for SAN in "${SANITIZERS[@]}"; do
+  BUILD_DIR="build-${SAN}"
+  echo "=== sanitizer: ${SAN} -> ${BUILD_DIR} ==="
+  cmake -B "${BUILD_DIR}" -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DFASTFT_SANITIZE="${SAN}" \
+        -DFASTFT_BUILD_BENCHMARKS=OFF \
+        -DFASTFT_BUILD_EXAMPLES=OFF
+  cmake --build "${BUILD_DIR}" -j "${JOBS}"
+  (cd "${BUILD_DIR}" && ctest --output-on-failure -j "${JOBS}")
+done
+
+echo "all sanitizer runs passed"

@@ -113,6 +113,14 @@ void PrintRunSummary(const Dataset& dataset, const EngineResult& result) {
   std::printf("time: evaluation %.2fs, estimation %.2fs, optimization %.2fs\n",
               result.times.Get("evaluation"), result.times.Get("estimation"),
               result.times.Get("optimization"));
+  if (result.health.degraded()) {
+    std::printf("health: %lld faults, %lld skipped updates, %lld quarantines "
+                "(%lld recovered)\n",
+                static_cast<long long>(result.health.faults_observed),
+                static_cast<long long>(result.health.skipped_updates),
+                static_cast<long long>(result.health.total_quarantines()),
+                static_cast<long long>(result.health.total_recoveries()));
+  }
 }
 
 int CmdTransform(const Args& args) {
@@ -131,7 +139,12 @@ int CmdTransform(const Args& args) {
   Dataset dataset = std::move(loaded).ValueOrDie();
 
   FastFtEngine engine(ConfigFromArgs(args));
-  EngineResult result = engine.Run(dataset);
+  Result<EngineResult> run = engine.Run(dataset);
+  if (!run.ok()) {
+    std::fprintf(stderr, "error: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  EngineResult result = std::move(run).ValueOrDie();
   PrintRunSummary(dataset, result);
 
   if (args.Has("output")) {
@@ -243,7 +256,12 @@ int CmdBenchmark(const Args& args) {
   }
   Dataset dataset = std::move(loaded).ValueOrDie();
   FastFtEngine engine(ConfigFromArgs(args));
-  EngineResult result = engine.Run(dataset);
+  Result<EngineResult> run = engine.Run(dataset);
+  if (!run.ok()) {
+    std::fprintf(stderr, "error: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  EngineResult result = std::move(run).ValueOrDie();
   PrintRunSummary(dataset, result);
   std::printf("\ntop generated features:\n");
   int shown = 0;
