@@ -7,6 +7,7 @@
 #ifndef FASTFT_BENCH_BENCH_UTIL_H_
 #define FASTFT_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +25,16 @@ namespace bench {
 inline bool FullMode() {
   const char* env = std::getenv("FASTFT_BENCH_FULL");
   return env != nullptr && std::string(env) == "1";
+}
+
+/// Worker threads for downstream evaluation (FASTFT_THREADS env; default 1
+/// = serial, 0 = all hardware threads). Every reported score is
+/// bit-identical for any value — the knob only changes bench wall-clock, so
+/// the timing benches (Table II, Fig. 9/10) should stay at their default.
+inline int BenchThreads() {
+  const char* env = std::getenv("FASTFT_THREADS");
+  if (env == nullptr) return 1;
+  return std::max(0, std::atoi(env));
 }
 
 inline void PrintTitle(const std::string& title) {
@@ -49,6 +60,7 @@ inline EngineConfig DefaultEngineConfig(uint64_t seed) {
   cfg.finetune_every_episodes = 3;
   cfg.evaluator.folds = 3;
   cfg.evaluator.forest_trees = 8;
+  cfg.num_threads = BenchThreads();
   cfg.seed = seed;
   return cfg;
 }
@@ -58,6 +70,7 @@ inline BaselineConfig DefaultBaselineConfig(uint64_t seed) {
   cfg.iterations = FullMode() ? 36 : 24;
   cfg.evaluator.folds = 3;
   cfg.evaluator.forest_trees = 8;
+  cfg.evaluator.num_threads = BenchThreads();
   cfg.caafe_llm_latency = 0.12;
   cfg.seed = seed;
   return cfg;

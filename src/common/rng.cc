@@ -29,11 +29,17 @@ int Rng::SampleDiscrete(const std::vector<double>& weights) {
   if (total <= 1e-300) return UniformInt(static_cast<int>(weights.size()));
   double r = Uniform() * total;
   double acc = 0.0;
+  // Zero-weight entries can never win and are skipped outright: the old
+  // fall-through to size()-1 could hand the draw to a trailing zero-weight
+  // index when floating-point accumulation left r >= acc at the end.
+  int last_positive = -1;
   for (size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] <= 0.0) continue;
     acc += weights[i];
-    if (r < acc) return static_cast<int>(i);
+    last_positive = static_cast<int>(i);
+    if (r < acc) return last_positive;
   }
-  return static_cast<int>(weights.size()) - 1;
+  return last_positive;
 }
 
 std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {

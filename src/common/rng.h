@@ -38,8 +38,9 @@ class Rng {
   /// Bernoulli draw with probability p of true.
   bool Bernoulli(double p) { return Uniform() < p; }
 
-  /// Samples an index from unnormalized non-negative weights.
-  /// Falls back to uniform when all weights are ~0.
+  /// Samples an index from unnormalized non-negative weights. Never returns
+  /// an index whose weight is exactly 0 while any weight is positive; falls
+  /// back to uniform over all indices when every weight is ~0.
   int SampleDiscrete(const std::vector<double>& weights);
 
   /// Fisher-Yates shuffles `items` in place.

@@ -1,0 +1,155 @@
+#include "common/threadpool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+
+#include "common/logging.h"
+
+namespace fastft {
+namespace common {
+namespace {
+
+thread_local bool tls_in_worker = false;
+
+}  // namespace
+
+int ResolveThreadCount(int requested) {
+  if (requested > 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_workers) {
+  num_workers = std::max(num_workers, 0);
+  workers_.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  tls_in_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Drain the queue even when stopping so every submitted future
+      // completes before the destructor joins.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    FASTFT_CHECK(!stop_) << "task submitted to a stopped ThreadPool";
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  auto packaged =
+      std::make_shared<std::packaged_task<void()>>(std::move(task));
+  std::future<void> future = packaged->get_future();
+  Enqueue([packaged] { (*packaged)(); });
+  return future;
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int max_parallelism,
+                             const std::function<void(int64_t)>& fn) {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  const int64_t executors =
+      std::min({static_cast<int64_t>(std::max(max_parallelism, 1)),
+                static_cast<int64_t>(num_workers()) + 1, n});
+  if (executors <= 1 || tls_in_worker) {
+    for (int64_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  // Dynamic index claiming: every executor (the caller included) pulls the
+  // next unclaimed index. Work per index is independent, so the claim order
+  // cannot affect results — only the wall clock.
+  struct LoopState {
+    std::atomic<int64_t> next{0};
+    int64_t end = 0;
+    const std::function<void(int64_t)>* fn = nullptr;
+    std::atomic<bool> abort{false};
+    std::mutex mu;
+    std::condition_variable done;
+    int active_runners = 0;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<LoopState>();
+  state->next.store(begin, std::memory_order_relaxed);
+  state->end = end;
+  state->fn = &fn;
+  state->active_runners = static_cast<int>(executors) - 1;
+
+  auto run = [](const std::shared_ptr<LoopState>& s) {
+    while (!s->abort.load(std::memory_order_relaxed)) {
+      const int64_t i = s->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= s->end) break;
+      try {
+        (*s->fn)(i);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(s->mu);
+          if (!s->error) s->error = std::current_exception();
+        }
+        s->abort.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  for (int64_t w = 1; w < executors; ++w) {
+    Enqueue([state, run] {
+      run(state);
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (--state->active_runners == 0) state->done.notify_all();
+    });
+  }
+  run(state);  // The caller participates: progress even under a full queue.
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done.wait(lock, [&state] { return state->active_runners == 0; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+ThreadPool& ThreadPool::Shared() {
+  // Leaked on purpose: worker threads must outlive every static destructor
+  // that might still evaluate. Caller + workers = hardware threads.
+  static ThreadPool* pool = new ThreadPool(ResolveThreadCount(0) - 1);
+  return *pool;
+}
+
+bool ThreadPool::InWorker() { return tls_in_worker; }
+
+void ParallelFor(int64_t begin, int64_t end, int threads,
+                 const std::function<void(int64_t)>& fn) {
+  if (threads <= 1 || end - begin <= 1 || ThreadPool::InWorker()) {
+    for (int64_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  ThreadPool::Shared().ParallelFor(begin, end, threads, fn);
+}
+
+}  // namespace common
+}  // namespace fastft

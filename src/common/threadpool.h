@@ -1,0 +1,95 @@
+// Fixed-size, exception-safe worker pool shared by the evaluation hot path.
+//
+// The pool exists to make downstream-task evaluation — the wall-clock
+// bottleneck the paper's Performance Predictor attacks (Table II) — run as
+// wide as the hardware allows without changing a single score: k-fold splits,
+// forest trees, and batched candidate datasets are all independent units of
+// work whose seeds are derived up front, so any interleaving reproduces the
+// serial results bit for bit.
+//
+// Concurrency model (see DESIGN.md "Concurrency model"):
+//   * One process-wide pool (`ThreadPool::Shared()`), sized to
+//     hardware_concurrency; call sites cap their own parallelism per call.
+//   * `ParallelFor` is a blocking fork-join: the calling thread participates
+//     in the loop, so progress is guaranteed even when every worker is busy.
+//   * Nested `ParallelFor` calls from inside a worker run inline (serial) —
+//     fold-level parallelism subsumes tree-level parallelism instead of
+//     deadlocking on the shared queue.
+//   * The first exception thrown by the body is captured and rethrown on the
+//     calling thread after the loop quiesces; remaining indices may be
+//     skipped.
+
+#ifndef FASTFT_COMMON_THREADPOOL_H_
+#define FASTFT_COMMON_THREADPOOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fastft {
+namespace common {
+
+/// Resolves a user-facing thread-count knob: 0 means "all hardware threads"
+/// (at least 1), any positive value is taken as-is.
+int ResolveThreadCount(int requested);
+
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` worker threads (0 is allowed; everything then runs
+  /// inline on the calling thread).
+  explicit ThreadPool(int num_workers);
+  /// Drains queued tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues one task; the future completes when it finishes (exceptions
+  /// propagate through the future). Tasks of a single-worker pool execute in
+  /// submission order.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Runs fn(i) for every i in [begin, end) using at most `max_parallelism`
+  /// concurrent executors (the calling thread plus up to
+  /// max_parallelism - 1 workers). Blocks until every claimed index
+  /// finished. max_parallelism <= 1 — or a call from inside a pool worker —
+  /// runs the loop inline. The first exception is rethrown on the caller.
+  void ParallelFor(int64_t begin, int64_t end, int max_parallelism,
+                   const std::function<void(int64_t)>& fn);
+
+  /// Process-wide pool sized so that a caller plus all workers saturate the
+  /// hardware. Created on first use; intentionally never destroyed.
+  static ThreadPool& Shared();
+
+  /// True on a thread that is currently executing pool work.
+  static bool InWorker();
+
+ private:
+  void WorkerLoop();
+  void Enqueue(std::function<void()> task);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Convenience fork-join over the shared pool: runs fn(i) for i in
+/// [begin, end) with up to `threads` concurrent executors. threads <= 1 runs
+/// inline without ever touching (or lazily creating) the shared pool, so
+/// serial configurations stay thread-free.
+void ParallelFor(int64_t begin, int64_t end, int threads,
+                 const std::function<void(int64_t)>& fn);
+
+}  // namespace common
+}  // namespace fastft
+
+#endif  // FASTFT_COMMON_THREADPOOL_H_

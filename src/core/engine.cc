@@ -136,6 +136,11 @@ Status ValidateEngineConfig(const EngineConfig& config) {
     return invalid("tokenizer_feature_buckets and tokenizer_max_length must "
                    "be >= 1");
   }
+  if (config.num_threads < 0) {
+    return invalid("num_threads must be >= 0 (0 = all hardware threads), "
+                   "got " +
+                   std::to_string(config.num_threads));
+  }
   return Status::OK();
 }
 
@@ -180,7 +185,25 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
 
   EvaluatorConfig eval_config = config_.evaluator;
   eval_config.seed = DeriveSeed(config_.seed, 21);
+  eval_config.num_threads = config_.num_threads;
   Evaluator evaluator(eval_config);
+
+  // Downstream candidate scoring goes through one guarded batch: candidates
+  // fan out across the shared pool (bit-identical to serial — every
+  // candidate's fold seeds are fixed), while the evaluator/evaluate fault
+  // point and every health-ladder decision run on this thread, in candidate
+  // order, so the fault schedule and quarantine semantics are unchanged.
+  auto evaluate_candidates =
+      [&](const std::vector<const Dataset*>& candidates) {
+        std::vector<double> scores = evaluator.EvaluateBatch(candidates);
+        result.downstream_evaluations += static_cast<int64_t>(scores.size());
+        for (double& score : scores) {
+          if (FASTFT_FAULT_POINT("evaluator/evaluate")) {
+            score = kNaN;
+          }
+        }
+        return scores;
+      };
 
   PredictorConfig pp_config;
   pp_config.backbone = config_.backbone;
@@ -209,7 +232,11 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
       return Status::Internal(
           "baseline downstream evaluation of '" + dataset.name +
           "' returned a non-finite score; the run has no anchor to degrade "
-          "to (check the dataset's labels and the evaluator configuration)");
+          "to (a NaN means every cross-validation fold was skipped — the "
+          "dataset is too small for " +
+          std::to_string(eval_config.folds) +
+          "-fold evaluation — otherwise check the labels and the evaluator "
+          "configuration)");
     }
     result.base_score = base;
   }
@@ -382,14 +409,15 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
         v = prev_perf;
       } else if (run_downstream) {
         ScopedTimer timer(&result.times, kEval);
-        double measured = evaluator.Evaluate(space.ToDataset());
-        ++result.downstream_evaluations;
-        if (FASTFT_FAULT_POINT("evaluator/evaluate")) measured = kNaN;
+        Dataset candidate = space.ToDataset();
+        double measured = evaluate_candidates({&candidate})[0];
         if (!std::isfinite(measured)) {
           // Guard: drop the poisoned measurement and fall back to the
           // predicted value (or carry the previous performance). The
           // evaluator is ground truth, so it degrades per call — skip and
-          // count — rather than by quarantine.
+          // count — rather than by quarantine. A degenerate candidate
+          // (every fold skipped) lands here too and is counted the same
+          // way in the health report.
           health.RecordEvaluatorFault();
           run_downstream = false;
           v = have_prediction ? predicted : prev_perf;

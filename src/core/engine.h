@@ -98,7 +98,15 @@ struct EngineConfig {
 
   FeatureSpaceConfig feature_space;
   ClusteringConfig clustering;
+  /// Downstream evaluator settings. Its num_threads is overridden by
+  /// EngineConfig::num_threads below; forest_threads passes through.
   EvaluatorConfig evaluator;
+
+  /// Worker threads for downstream evaluation (k-fold fan-out and batched
+  /// candidate scoring). 1 = serial, 0 = all hardware threads. Scores,
+  /// traces, and health reports are bit-identical for any value; only the
+  /// wall clock changes.
+  int num_threads = 1;
   int tokenizer_feature_buckets = 48;
   int tokenizer_max_length = 192;
 

@@ -1,9 +1,11 @@
 #include "ml/evaluator.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/threadpool.h"
 #include "data/split.h"
 #include "ml/gradient_boosting.h"
 #include "ml/linear_models.h"
@@ -36,7 +38,8 @@ const char* ModelKindName(ModelKind kind) {
 }
 
 std::unique_ptr<Model> MakeModel(ModelKind kind, TaskType task, uint64_t seed,
-                                 int forest_trees, int forest_depth) {
+                                 int forest_trees, int forest_depth,
+                                 int forest_threads) {
   const bool regression = task == TaskType::kRegression;
   switch (kind) {
     case ModelKind::kRandomForest: {
@@ -44,6 +47,7 @@ std::unique_ptr<Model> MakeModel(ModelKind kind, TaskType task, uint64_t seed,
       fc.regression = regression;
       fc.num_trees = forest_trees;
       fc.max_depth = forest_depth;
+      fc.num_threads = forest_threads;
       fc.seed = seed;
       return std::make_unique<RandomForest>(fc);
     }
@@ -97,28 +101,57 @@ double Evaluator::Evaluate(const Dataset& dataset) const {
 
 double Evaluator::Evaluate(const Dataset& dataset, Metric metric) const {
   FASTFT_CHECK(dataset.Validate().ok()) << dataset.Validate().ToString();
-  ++evaluation_count_;
+  evaluation_count_.fetch_add(1, std::memory_order_relaxed);
   std::vector<TrainTestIndices> folds =
       KFoldSplit(dataset, config_.folds, config_.seed);
-  double total = 0.0;
-  int used = 0;
-  for (size_t k = 0; k < folds.size(); ++k) {
+  // Folds are independent: each derives its own model seed from (seed, k),
+  // so they can be scored concurrently and still reproduce the serial run
+  // bit for bit — the reduction below always sums in fold order.
+  std::vector<double> fold_score(folds.size(), 0.0);
+  std::vector<char> fold_used(folds.size(), 0);
+  auto score_fold = [&](int64_t k) {
     TrainTestData data = MaterializeSplit(dataset, folds[k]);
-    if (data.train.NumRows() < 2 || data.test.NumRows() < 1) continue;
+    if (data.train.NumRows() < 2 || data.test.NumRows() < 1) return;
     std::unique_ptr<Model> model =
         MakeModel(config_.model, dataset.task,
-                  DeriveSeed(config_.seed, k + 1), config_.forest_trees,
-                  config_.forest_depth);
+                  DeriveSeed(config_.seed, static_cast<uint64_t>(k) + 1),
+                  config_.forest_trees, config_.forest_depth,
+                  config_.forest_threads);
     Rows train_rows = data.train.features.ToRows();
     model->Fit(train_rows, data.train.labels);
     Rows test_rows = data.test.features.ToRows();
     std::vector<double> pred = metric == Metric::kAuc
                                    ? model->PredictScore(test_rows)
                                    : model->Predict(test_rows);
-    total += ComputeMetric(metric, data.test.labels, pred);
+    fold_score[k] = ComputeMetric(metric, data.test.labels, pred);
+    fold_used[k] = 1;
+  };
+  common::ParallelFor(0, static_cast<int64_t>(folds.size()),
+                      common::ResolveThreadCount(config_.num_threads),
+                      score_fold);
+  double total = 0.0;
+  int used = 0;
+  for (size_t k = 0; k < folds.size(); ++k) {
+    if (!fold_used[k]) continue;
+    total += fold_score[k];
     ++used;
   }
-  return used > 0 ? total / used : 0.0;
+  // Every fold skipped (train < 2 or test < 1 rows): NaN, never 0.0 — a
+  // degenerate input must not masquerade as a legitimate zero score on the
+  // reward path. Callers guard with std::isfinite.
+  return used > 0 ? total / used : std::numeric_limits<double>::quiet_NaN();
+}
+
+std::vector<double> Evaluator::EvaluateBatch(
+    const std::vector<const Dataset*>& datasets) const {
+  std::vector<double> scores(datasets.size(), 0.0);
+  // Candidate-level fan-out; each candidate's fold loop then runs inline on
+  // its worker (nested ParallelFor degrades to serial), so one batch never
+  // oversubscribes the pool.
+  common::ParallelFor(0, static_cast<int64_t>(datasets.size()),
+                      common::ResolveThreadCount(config_.num_threads),
+                      [&](int64_t i) { scores[i] = Evaluate(*datasets[i]); });
+  return scores;
 }
 
 std::vector<double> Evaluator::FeatureImportance(
@@ -127,6 +160,7 @@ std::vector<double> Evaluator::FeatureImportance(
   fc.regression = dataset.task == TaskType::kRegression;
   fc.num_trees = std::max(config_.forest_trees, 10);
   fc.max_depth = config_.forest_depth;
+  fc.num_threads = config_.forest_threads;
   fc.seed = config_.seed;
   RandomForest forest(fc);
   forest.Fit(dataset.features.ToRows(), dataset.labels);

@@ -8,6 +8,7 @@
 #ifndef FASTFT_ML_EVALUATOR_H_
 #define FASTFT_ML_EVALUATOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -33,15 +34,26 @@ enum class ModelKind {
 
 const char* ModelKindName(ModelKind kind);
 
-/// Builds a model of `kind` appropriate for `task`.
+/// Builds a model of `kind` appropriate for `task`. `forest_threads` is
+/// wired into ForestConfig::num_threads for the forest models.
 std::unique_ptr<Model> MakeModel(ModelKind kind, TaskType task, uint64_t seed,
-                                 int forest_trees = 10, int forest_depth = 6);
+                                 int forest_trees = 10, int forest_depth = 6,
+                                 int forest_threads = 1);
 
 struct EvaluatorConfig {
   ModelKind model = ModelKind::kRandomForest;
   int folds = 3;
   int forest_trees = 8;
   int forest_depth = 6;
+  /// Folds of one Evaluate — and candidates of one EvaluateBatch — scored
+  /// concurrently on the shared pool. 1 = serial, 0 = all hardware threads.
+  /// Scores are bit-identical for any value (per-fold seeds are derived up
+  /// front and the reduction runs in fold order).
+  int num_threads = 1;
+  /// Tree-fitting threads per forest model (ForestConfig::num_threads);
+  /// 1 = serial, 0 = all hardware threads. Nested under fold-level
+  /// parallelism the forest fit runs inline.
+  int forest_threads = 1;
   uint64_t seed = 100;
 };
 
@@ -50,22 +62,36 @@ class Evaluator {
   explicit Evaluator(EvaluatorConfig config = {}) : config_(config) {}
 
   /// Cross-validated score with the task's default metric (F1 / 1-RAE / AUC).
+  /// Returns NaN when every fold was skipped (train < 2 or test < 1 rows):
+  /// a degenerate input must stay distinguishable from a legitimate zero
+  /// score. Callers on the reward path check std::isfinite.
   double Evaluate(const Dataset& dataset) const;
 
-  /// Cross-validated score with an explicit metric.
+  /// Cross-validated score with an explicit metric (NaN when every fold was
+  /// skipped, as above).
   double Evaluate(const Dataset& dataset, Metric metric) const;
+
+  /// Scores independent candidate datasets (default metric each),
+  /// index-aligned with the input. Candidates fan out across the shared
+  /// pool (config().num_threads executors); each result is bit-identical
+  /// to a serial Evaluate call on the same candidate.
+  std::vector<double> EvaluateBatch(
+      const std::vector<const Dataset*>& datasets) const;
 
   /// Impurity feature importances from a random forest fit on all rows.
   std::vector<double> FeatureImportance(const Dataset& dataset) const;
 
-  /// Number of Evaluate calls since construction (each is a full k-fold fit).
-  int64_t evaluation_count() const { return evaluation_count_; }
+  /// Number of Evaluate calls since construction (each is a full k-fold
+  /// fit). Atomic: Evaluate may run concurrently from EvaluateBatch workers.
+  int64_t evaluation_count() const {
+    return evaluation_count_.load(std::memory_order_relaxed);
+  }
 
   const EvaluatorConfig& config() const { return config_; }
 
  private:
   EvaluatorConfig config_;
-  mutable int64_t evaluation_count_ = 0;
+  mutable std::atomic<int64_t> evaluation_count_{0};
 };
 
 }  // namespace fastft

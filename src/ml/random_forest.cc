@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <thread>
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/threadpool.h"
 
 namespace fastft {
 
@@ -64,33 +64,21 @@ void RandomForest::Fit(const Rows& x, const std::vector<double>& y) {
   }
 
   trees_.assign(config_.num_trees, DecisionTree());
-  auto fit_range = [&](int begin, int end) {
-    for (int t = begin; t < end; ++t) {
-      TreeConfig tc;
-      tc.regression = config_.regression;
-      tc.max_depth = config_.max_depth;
-      tc.min_samples_leaf = config_.min_samples_leaf;
-      tc.max_features = per_split;
-      tc.seed = DeriveSeed(config_.seed, static_cast<uint64_t>(t) + 1);
-      DecisionTree tree(tc);
-      tree.Fit(bootstraps[t].bx, bootstraps[t].by);
-      trees_[t] = std::move(tree);
-    }
+  auto fit_tree = [&](int64_t t) {
+    TreeConfig tc;
+    tc.regression = config_.regression;
+    tc.max_depth = config_.max_depth;
+    tc.min_samples_leaf = config_.min_samples_leaf;
+    tc.max_features = per_split;
+    tc.seed = DeriveSeed(config_.seed, static_cast<uint64_t>(t) + 1);
+    DecisionTree tree(tc);
+    tree.Fit(bootstraps[t].bx, bootstraps[t].by);
+    trees_[t] = std::move(tree);
   };
-  const int threads = std::clamp(config_.num_threads, 1, config_.num_trees);
-  if (threads <= 1) {
-    fit_range(0, config_.num_trees);
-  } else {
-    std::vector<std::thread> workers;
-    int per_thread = (config_.num_trees + threads - 1) / threads;
-    for (int w = 0; w < threads; ++w) {
-      int begin = w * per_thread;
-      int end = std::min(config_.num_trees, begin + per_thread);
-      if (begin >= end) break;
-      workers.emplace_back(fit_range, begin, end);
-    }
-    for (std::thread& worker : workers) worker.join();
-  }
+  const int threads =
+      std::clamp(common::ResolveThreadCount(config_.num_threads), 1,
+                 config_.num_trees);
+  common::ParallelFor(0, config_.num_trees, threads, fit_tree);
   // Trees may have inferred fewer classes from a bootstrap; remember the max.
   for (const DecisionTree& tree : trees_) {
     num_classes_ = std::max(num_classes_, tree.num_classes());

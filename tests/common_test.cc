@@ -154,6 +154,31 @@ TEST(RngTest, SampleDiscreteRespectsWeights) {
   EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.6);
 }
 
+TEST(RngTest, SampleDiscreteNeverReturnsTrailingZeroWeight) {
+  // Regression: the old fallback returned size()-1 when floating-point
+  // accumulation left r >= acc, which could pick a zero-weight index.
+  Rng rng(23);
+  std::vector<double> weights = {1.0, 0.0};
+  for (int i = 0; i < 2000; ++i) EXPECT_EQ(rng.SampleDiscrete(weights), 0);
+}
+
+TEST(RngTest, SampleDiscreteSkipsInteriorAndTrailingZeros) {
+  Rng rng(29);
+  std::vector<double> weights = {0.0, 0.0, 5.0, 0.0};
+  for (int i = 0; i < 2000; ++i) EXPECT_EQ(rng.SampleDiscrete(weights), 2);
+}
+
+TEST(RngTest, SampleDiscreteAlwaysPicksPositiveWeight) {
+  Rng rng(31);
+  std::vector<double> weights = {0.3, 0.0, 1e-12, 0.0, 2.0, 0.0};
+  for (int i = 0; i < 5000; ++i) {
+    int idx = rng.SampleDiscrete(weights);
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, static_cast<int>(weights.size()));
+    EXPECT_GT(weights[idx], 0.0) << "picked zero-weight index " << idx;
+  }
+}
+
 TEST(RngTest, SampleDiscreteAllZeroFallsBackToUniform) {
   Rng rng(17);
   std::vector<double> weights = {0.0, 0.0, 0.0};

@@ -196,6 +196,32 @@ TEST(EngineTest, ZeroThresholdsSuppressTriggers) {
   }
 }
 
+TEST(EngineTest, DegenerateDatasetSurfacesAsStatusNotZeroScore) {
+  // Two rows across two folds means the evaluator skips every fold and
+  // returns NaN (never a fake 0.0); the engine has no baseline anchor and
+  // must refuse the run with an explanatory Status instead of reporting a
+  // zero base score.
+  Dataset tiny;
+  tiny.name = "tiny";
+  tiny.task = TaskType::kClassification;
+  Status st = tiny.features.AddColumn("a", {0.25, 0.75});
+  st = tiny.features.AddColumn("b", {1.0, -1.0});
+  tiny.labels = {0, 1};
+  ASSERT_TRUE(tiny.Validate().ok());
+  Result<EngineResult> run = FastFtEngine(FastConfig()).Run(tiny);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInternal);
+  EXPECT_NE(run.status().message().find("fold"), std::string::npos);
+}
+
+TEST(EngineTest, NegativeThreadCountRejected) {
+  EngineConfig cfg = FastConfig();
+  cfg.num_threads = -1;
+  Result<EngineResult> run = FastFtEngine(cfg).Run(SmallDataset());
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(EngineTest, RlFrameworkNames) {
   EXPECT_STREQ(RlFrameworkName(RlFramework::kActorCritic), "ActorCritic");
   EXPECT_STREQ(RlFrameworkName(RlFramework::kDuelingDoubleDqn),

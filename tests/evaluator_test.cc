@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "data/synthetic.h"
 #include "ml/evaluator.h"
 
@@ -85,6 +87,35 @@ TEST(EvaluatorTest, FeatureImportanceMatchesFeatureCount) {
     sum += v;
   }
   EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+Dataset TinyTwoRowDataset() {
+  Dataset ds;
+  ds.name = "tiny";
+  ds.task = TaskType::kClassification;
+  Status st = ds.features.AddColumn("a", {0.25, 0.75});
+  st = ds.features.AddColumn("b", {1.0, -1.0});
+  ds.labels = {0, 1};
+  return ds;
+}
+
+TEST(EvaluatorTest, ReturnsNaNWhenEveryFoldIsSkipped) {
+  // Two rows across two folds leaves every fold with a single training row,
+  // so every fold is skipped. The old code silently returned 0.0 — a value
+  // indistinguishable from a legitimate worst-case score; now the degenerate
+  // case is a NaN sentinel the caller can isfinite-check.
+  EvaluatorConfig ec;
+  ec.folds = 2;
+  Evaluator evaluator(ec);
+  double score = evaluator.Evaluate(TinyTwoRowDataset());
+  EXPECT_TRUE(std::isnan(score));
+  // The call still counts as an evaluation attempt.
+  EXPECT_EQ(evaluator.evaluation_count(), 1);
+}
+
+TEST(EvaluatorTest, NormalScoresStayFinite) {
+  Evaluator evaluator;
+  EXPECT_TRUE(std::isfinite(evaluator.Evaluate(Classification())));
 }
 
 class ModelKindTest : public testing::TestWithParam<ModelKind> {};

@@ -1,0 +1,129 @@
+// Determinism guarantees of the parallel evaluation pipeline: every score
+// produced with num_threads > 1 must equal its serial counterpart bit for
+// bit (per-fold/per-tree seeds are derived up front and reductions run in
+// index order), and shared evaluator state must be race-free (this binary is
+// the TSan regression suite for the pipeline — see tools/check_sanitize.sh).
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "data/synthetic.h"
+#include "ml/evaluator.h"
+
+namespace fastft {
+namespace {
+
+Dataset Classification(int n = 220, uint64_t seed = 9) {
+  SyntheticSpec spec;
+  spec.samples = n;
+  spec.features = 8;
+  spec.seed = seed;
+  return MakeClassification(spec);
+}
+
+EvaluatorConfig EvalConfig(int num_threads) {
+  EvaluatorConfig ec;
+  ec.seed = 77;
+  ec.folds = 3;
+  ec.forest_trees = 8;
+  ec.num_threads = num_threads;
+  return ec;
+}
+
+TEST(ParallelDeterminismTest, FoldParallelEvaluateIsBitIdentical) {
+  Dataset ds = Classification();
+  Evaluator serial(EvalConfig(1));
+  Evaluator parallel(EvalConfig(4));
+  // Exact comparison on purpose: the contract is bit-identity, not
+  // tolerance-level agreement.
+  EXPECT_EQ(serial.Evaluate(ds), parallel.Evaluate(ds));
+}
+
+TEST(ParallelDeterminismTest, TreeParallelForestIsBitIdentical) {
+  Dataset ds = Classification();
+  EvaluatorConfig serial_cfg = EvalConfig(1);
+  EvaluatorConfig parallel_cfg = EvalConfig(1);
+  parallel_cfg.forest_threads = 4;
+  Evaluator serial(serial_cfg);
+  Evaluator parallel(parallel_cfg);
+  EXPECT_EQ(serial.Evaluate(ds), parallel.Evaluate(ds));
+}
+
+TEST(ParallelDeterminismTest, EvaluateBatchMatchesSerialLoop) {
+  std::vector<Dataset> candidates;
+  for (int i = 0; i < 8; ++i) {
+    candidates.push_back(Classification(160, 100 + static_cast<uint64_t>(i)));
+  }
+  std::vector<const Dataset*> ptrs;
+  for (const Dataset& d : candidates) ptrs.push_back(&d);
+
+  Evaluator serial(EvalConfig(1));
+  Evaluator parallel(EvalConfig(4));
+  std::vector<double> expected;
+  for (const Dataset* d : ptrs) expected.push_back(serial.Evaluate(*d));
+  std::vector<double> batch = parallel.EvaluateBatch(ptrs);
+
+  ASSERT_EQ(batch.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(batch[i], expected[i]) << "candidate " << i;
+  }
+  EXPECT_EQ(parallel.evaluation_count(), static_cast<int64_t>(ptrs.size()));
+}
+
+TEST(ParallelDeterminismTest, EngineRunIsBitIdenticalAcrossThreadCounts) {
+  SyntheticSpec spec;
+  spec.samples = 140;
+  spec.features = 7;
+  spec.seed = 50;
+  Dataset ds = MakeClassification(spec);
+
+  EngineConfig serial_cfg;
+  serial_cfg.episodes = 5;
+  serial_cfg.steps_per_episode = 4;
+  serial_cfg.cold_start_episodes = 2;
+  serial_cfg.finetune_every_episodes = 2;
+  serial_cfg.cold_start_train_epochs = 4;
+  serial_cfg.evaluator.folds = 2;
+  serial_cfg.evaluator.forest_trees = 6;
+  serial_cfg.seed = 2024;
+  serial_cfg.num_threads = 1;
+  EngineConfig parallel_cfg = serial_cfg;
+  parallel_cfg.num_threads = 4;
+
+  EngineResult a = FastFtEngine(serial_cfg).Run(ds).ValueOrDie();
+  EngineResult b = FastFtEngine(parallel_cfg).Run(ds).ValueOrDie();
+
+  EXPECT_EQ(a.base_score, b.base_score);
+  EXPECT_EQ(a.best_score, b.best_score);
+  EXPECT_EQ(a.downstream_evaluations, b.downstream_evaluations);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].reward, b.trace[i].reward) << "step " << i;
+    EXPECT_EQ(a.trace[i].performance, b.trace[i].performance) << "step " << i;
+  }
+}
+
+TEST(ParallelDeterminismTest, EvaluationCountIsRaceFreeUnderConcurrentUse) {
+  // Regression for the `mutable int evaluation_count_` data race: hammer one
+  // evaluator from several threads and check the atomic counter is exact.
+  // Under FASTFT_SANITIZE=thread this also proves the const path is
+  // race-free.
+  Dataset ds = Classification(80);
+  Evaluator evaluator(EvalConfig(1));
+  constexpr int kThreads = 4;
+  constexpr int kCallsPerThread = 3;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&evaluator, &ds] {
+      for (int i = 0; i < kCallsPerThread; ++i) evaluator.Evaluate(ds);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(evaluator.evaluation_count(), kThreads * kCallsPerThread);
+}
+
+}  // namespace
+}  // namespace fastft

@@ -1,16 +1,23 @@
 #!/usr/bin/env bash
-# Configure, build, and run the test suite under ASan and UBSan.
+# Configure, build, and run the test suite under ASan, UBSan, and TSan.
 #
-#   $ tools/check_sanitize.sh             # both sanitizers
+#   $ tools/check_sanitize.sh             # all three sanitizers
 #   $ tools/check_sanitize.sh address     # just one
+#   $ tools/check_sanitize.sh thread      # just the data-race leg
 #
-# Each sanitizer gets its own build tree (build-address / build-undefined).
-# Benchmarks and examples are skipped: the test suite exercises every
-# library path and the sanitized benches would only add minutes.
+# Each sanitizer gets its own build tree (build-address / build-undefined /
+# build-thread). Benchmarks and examples are skipped: the test suite
+# exercises every library path and the sanitized benches would only add
+# minutes.
+#
+# The thread leg runs the full suite — the parallel-evaluation tests
+# (threadpool_test, parallel_determinism_test, and the evaluator/engine
+# tests with num_threads > 1) are the ones that put real concurrency under
+# TSan.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-if [[ $# -gt 0 ]]; then SANITIZERS=("$@"); else SANITIZERS=(address undefined); fi
+if [[ $# -gt 0 ]]; then SANITIZERS=("$@"); else SANITIZERS=(address undefined thread); fi
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 

@@ -4,7 +4,7 @@
 //       Lists the built-in dataset zoo.
 //
 //   fastft transform --input data.csv --label <col> [--task C|R|D]
-//                    [--episodes N] [--steps N] [--seed S]
+//                    [--episodes N] [--steps N] [--seed S] [--threads N]
 //                    [--output out.csv] [--program prog.txt]
 //                    [--report report.json]
 //       Runs the FastFT engine on a CSV dataset, writes the transformed
@@ -16,7 +16,11 @@
 //       schema (label column optional; it is carried through if given).
 //
 //   fastft benchmark --dataset "<zoo name>" [--episodes N] [--seed S]
+//                    [--threads N]
 //       Quick engine run on a zoo dataset, printing the score breakdown.
+//
+//   --threads N parallelizes downstream evaluation (N = 0 uses every
+//   hardware thread); scores are bit-identical to a serial run.
 
 #include <cstdio>
 #include <cstdlib>
@@ -65,11 +69,11 @@ int Usage() {
                "  fastft list\n"
                "  fastft transform --input data.csv --label <col> "
                "[--task C|R|D] [--episodes N] [--steps N] [--seed S] "
-               "[--output out.csv] [--program prog.txt]\n"
+               "[--threads N] [--output out.csv] [--program prog.txt]\n"
                "  fastft apply --input new.csv --program prog.txt "
                "[--label <col>] [--output out.csv]\n"
                "  fastft benchmark --dataset \"<zoo name>\" [--episodes N] "
-               "[--seed S]\n");
+               "[--seed S] [--threads N]\n");
   return 2;
 }
 
@@ -99,6 +103,8 @@ EngineConfig ConfigFromArgs(const Args& args) {
   config.cold_start_episodes =
       std::min(3, std::max(1, config.episodes / 4));
   config.seed = static_cast<uint64_t>(args.GetInt("seed", 7));
+  // 0 = all hardware threads; results are bit-identical for any value.
+  config.num_threads = std::max(0, args.GetInt("threads", 1));
   return config;
 }
 
