@@ -10,6 +10,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "common/threadpool.h"
 #include "core/mutual_information.h"
 #include "core/state.h"
 
@@ -141,6 +142,11 @@ Status ValidateEngineConfig(const EngineConfig& config) {
                    "got " +
                    std::to_string(config.num_threads));
   }
+  if (config.prefix_cache_kb < 0) {
+    return invalid("prefix_cache_kb must be >= 0 (0 disables the cache), "
+                   "got " +
+                   std::to_string(config.prefix_cache_kb));
+  }
   return Status::OK();
 }
 
@@ -205,15 +211,23 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
         return scores;
       };
 
+  const size_t cache_bytes =
+      static_cast<size_t>(config_.prefix_cache_kb) * 1024;
+  // Estimation-side parallelism (distillation targets, embedding sweep);
+  // downstream evaluation resolves the same knob inside the evaluator.
+  const int est_threads = common::ResolveThreadCount(config_.num_threads);
+
   PredictorConfig pp_config;
   pp_config.backbone = config_.backbone;
   pp_config.vocab_size = tokenizer.vocab_size();
+  pp_config.prefix_cache_bytes = cache_bytes;
   pp_config.seed = DeriveSeed(config_.seed, 22);
   PerformancePredictor predictor(pp_config);
 
   NoveltyConfig ne_config;
   ne_config.backbone = config_.backbone;
   ne_config.vocab_size = tokenizer.vocab_size();
+  ne_config.prefix_cache_bytes = cache_bytes;
   ne_config.seed = DeriveSeed(config_.seed, 23);
   NoveltyEstimator novelty(ne_config);
 
@@ -475,11 +489,20 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
       if (config_.collect_novelty_metrics) {
         ScopedTimer timer(&result.times, kEst);
         std::vector<double> embedding = novelty.TargetEmbedding(step_tokens);
+        // Fig. 14 sweep: distances to the history fan out over the pool;
+        // the min-reduction runs here in input order, so the metric is
+        // bit-identical to the serial scan at any thread count.
+        std::vector<double> distances(embedding_history.size());
+        common::ParallelFor(
+            0, static_cast<int64_t>(embedding_history.size()), est_threads,
+            [&](int64_t i) {
+              distances[static_cast<size_t>(i)] =
+                  1.0 - CosineSimilarity(
+                            embedding,
+                            embedding_history[static_cast<size_t>(i)]);
+            });
         double min_distance = 1.0;
-        for (const auto& previous : embedding_history) {
-          min_distance = std::min(
-              min_distance, 1.0 - CosineSimilarity(embedding, previous));
-        }
+        for (double d : distances) min_distance = std::min(min_distance, d);
         if (embedding_history.empty()) min_distance = 1.0;
         trace.novelty_distance = min_distance;
         embedding_history.push_back(std::move(embedding));
@@ -525,7 +548,7 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
           sequences.push_back(r.tokens);
         }
         double loss = novelty.Fit(sequences, config_.cold_start_train_epochs,
-                                  &train_rng);
+                                  &train_rng, est_threads);
         if (FASTFT_FAULT_POINT("novelty/coldstart")) loss = kNaN;
         if (!std::isfinite(loss)) {
           health.RecordComponentFault(&health.novelty);
@@ -577,8 +600,9 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
                            [&] { return predictor.Finetune(batch); });
       }
       if (config_.use_novelty) {
-        finetune_component(&health.novelty, "novelty/finetune",
-                           [&] { return novelty.Finetune(sequences); });
+        finetune_component(&health.novelty, "novelty/finetune", [&] {
+          return novelty.Finetune(sequences, est_threads);
+        });
       }
     }
 
@@ -586,6 +610,8 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
   }
 
   result.total_steps = global_step;
+  result.estimation_cache = predictor.cache_stats();
+  result.estimation_cache.Merge(novelty.cache_stats());
   return result;
 }
 

@@ -103,10 +103,15 @@ struct EngineConfig {
   EvaluatorConfig evaluator;
 
   /// Worker threads for downstream evaluation (k-fold fan-out and batched
-  /// candidate scoring). 1 = serial, 0 = all hardware threads. Scores,
-  /// traces, and health reports are bit-identical for any value; only the
-  /// wall clock changes.
+  /// candidate scoring) and for batched estimation (novelty distillation
+  /// targets, Fig. 14 embedding-distance sweep). 1 = serial, 0 = all
+  /// hardware threads. Scores, traces, and health reports are bit-identical
+  /// for any value; only the wall clock changes.
   int num_threads = 1;
+  /// Per-network byte cap (in KiB) of the estimation prefix-state caches
+  /// (predictor + novelty target/estimator). 0 disables caching; scores are
+  /// bit-identical either way, only the estimation wall clock changes.
+  int prefix_cache_kb = 256;
   int tokenizer_feature_buckets = 48;
   int tokenizer_max_length = 192;
 
@@ -144,6 +149,9 @@ struct EngineResult {
   TimeBuckets times;
   int64_t downstream_evaluations = 0;
   int64_t predictor_estimations = 0;
+  /// Combined prefix-state cache counters of the estimation networks
+  /// (performance predictor + both novelty networks).
+  nn::PrefixCacheStats estimation_cache;
   int total_steps = 0;
   /// Faults observed, updates skipped, quarantines, and recoveries during
   /// the run (all zero on a healthy run).

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/threadpool.h"
 
 namespace fastft {
 namespace {
@@ -19,6 +20,7 @@ nn::SequenceModelConfig TargetConfig(const NoveltyConfig& config) {
   mc.num_layers = config.num_layers;
   mc.head_dims = {1};  // paper: target has 1 FC layer of width 1
   mc.orthogonal_gain = config.orthogonal_gain;
+  mc.prefix_cache_bytes = config.prefix_cache_bytes;
   mc.seed = config.seed;
   return mc;
 }
@@ -37,9 +39,20 @@ nn::SequenceModelConfig EstimatorConfig(const NoveltyConfig& config) {
 NoveltyEstimator::NoveltyEstimator(const NoveltyConfig& config)
     : target_(TargetConfig(config)), estimator_(EstimatorConfig(config)) {}
 
-double NoveltyEstimator::Novelty(const std::vector<int>& tokens) {
-  double diff = estimator_.Forward(tokens) - target_.Forward(tokens);
+double NoveltyEstimator::Novelty(const std::vector<int>& tokens) const {
+  double diff = estimator_.Predict(tokens) - target_.Predict(tokens);
   return diff * diff;
+}
+
+std::vector<double> NoveltyEstimator::NoveltyBatch(
+    const std::vector<std::vector<int>>& batch, int num_threads) const {
+  std::vector<double> raw(batch.size());
+  common::ParallelFor(0, static_cast<int64_t>(batch.size()), num_threads,
+                      [&](int64_t i) {
+                        raw[static_cast<size_t>(i)] =
+                            Novelty(batch[static_cast<size_t>(i)]);
+                      });
+  return raw;
 }
 
 void NoveltyEstimator::UpdateRunningScale(double raw) {
@@ -49,8 +62,7 @@ void NoveltyEstimator::UpdateRunningScale(double raw) {
   running_var_ += (raw - running_mean_) * delta;
 }
 
-double NoveltyEstimator::NormalizedNovelty(const std::vector<int>& tokens) {
-  double raw = Novelty(tokens);
+double NoveltyEstimator::NormalizeRaw(double raw) {
   // A diverged network must not poison the running scale; return the
   // non-finite score untouched so the caller's guard can quarantine us.
   if (!std::isfinite(raw)) return raw;
@@ -62,10 +74,31 @@ double NoveltyEstimator::NormalizedNovelty(const std::vector<int>& tokens) {
   return std::clamp(raw / (scale + 1e-9), 0.0, 10.0);
 }
 
+double NoveltyEstimator::NormalizedNovelty(const std::vector<int>& tokens) {
+  return NormalizeRaw(Novelty(tokens));
+}
+
+std::vector<double> NoveltyEstimator::NormalizedNoveltyBatch(
+    const std::vector<std::vector<int>>& batch, int num_threads) {
+  std::vector<double> scores = NoveltyBatch(batch, num_threads);
+  // Running-scale updates stay on this thread, in input order: the i-th
+  // score sees exactly the scale state a serial loop would have seen.
+  for (double& score : scores) score = NormalizeRaw(score);
+  return scores;
+}
+
 double NoveltyEstimator::Fit(const std::vector<std::vector<int>>& sequences,
-                             int epochs, Rng* rng) {
+                             int epochs, Rng* rng, int num_threads) {
   FASTFT_CHECK(rng != nullptr);
   if (sequences.empty()) return 0.0;
+  // The target is frozen, so its outputs are loop invariants of the
+  // epoch × item distillation loop; compute them once, batched.
+  std::vector<double> targets(sequences.size());
+  common::ParallelFor(0, static_cast<int64_t>(sequences.size()), num_threads,
+                      [&](int64_t i) {
+                        targets[static_cast<size_t>(i)] =
+                            target_.Predict(sequences[static_cast<size_t>(i)]);
+                      });
   double last = 0.0;
   std::vector<int> order(sequences.size());
   std::iota(order.begin(), order.end(), 0);
@@ -73,8 +106,7 @@ double NoveltyEstimator::Fit(const std::vector<std::vector<int>>& sequences,
     rng->Shuffle(order);
     double loss = 0.0;
     for (int i : order) {
-      double target = target_.Forward(sequences[i]);
-      loss += estimator_.TrainStep(sequences[i], target);
+      loss += estimator_.TrainStep(sequences[i], targets[i]);
       estimator_.ApplyStep();
     }
     last = loss / static_cast<double>(sequences.size());
@@ -83,20 +115,42 @@ double NoveltyEstimator::Fit(const std::vector<std::vector<int>>& sequences,
 }
 
 double NoveltyEstimator::Finetune(
-    const std::vector<std::vector<int>>& sequences) {
+    const std::vector<std::vector<int>>& sequences, int num_threads) {
   if (sequences.empty()) return 0.0;
+  std::vector<double> targets(sequences.size());
+  common::ParallelFor(0, static_cast<int64_t>(sequences.size()), num_threads,
+                      [&](int64_t i) {
+                        targets[static_cast<size_t>(i)] =
+                            target_.Predict(sequences[static_cast<size_t>(i)]);
+                      });
   double loss = 0.0;
-  for (const std::vector<int>& tokens : sequences) {
-    double target = target_.Forward(tokens);
-    loss += estimator_.TrainStep(tokens, target);
+  for (size_t i = 0; i < sequences.size(); ++i) {
+    loss += estimator_.TrainStep(sequences[i], targets[i]);
     estimator_.ApplyStep();
   }
   return loss / static_cast<double>(sequences.size());
 }
 
 std::vector<double> NoveltyEstimator::TargetEmbedding(
-    const std::vector<int>& tokens) {
+    const std::vector<int>& tokens) const {
   return target_.Encode(tokens);
+}
+
+std::vector<std::vector<double>> NoveltyEstimator::TargetEmbeddingBatch(
+    const std::vector<std::vector<int>>& batch, int num_threads) const {
+  std::vector<std::vector<double>> embeddings(batch.size());
+  common::ParallelFor(0, static_cast<int64_t>(batch.size()), num_threads,
+                      [&](int64_t i) {
+                        embeddings[static_cast<size_t>(i)] =
+                            target_.Encode(batch[static_cast<size_t>(i)]);
+                      });
+  return embeddings;
+}
+
+nn::PrefixCacheStats NoveltyEstimator::cache_stats() const {
+  nn::PrefixCacheStats stats = target_.prefix_cache_stats();
+  stats.Merge(estimator_.prefix_cache_stats());
+  return stats;
 }
 
 }  // namespace fastft

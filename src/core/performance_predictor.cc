@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/threadpool.h"
 
 namespace fastft {
 namespace {
@@ -16,6 +17,7 @@ nn::SequenceModelConfig ToModelConfig(const PredictorConfig& config) {
   mc.hidden_dim = config.hidden_dim;
   mc.num_layers = config.num_layers;
   mc.head_dims = {16, 1};  // paper: 2 FC layers with widths 16 and 1
+  mc.prefix_cache_bytes = config.prefix_cache_bytes;
   mc.seed = config.seed;
   return mc;
 }
@@ -25,8 +27,19 @@ nn::SequenceModelConfig ToModelConfig(const PredictorConfig& config) {
 PerformancePredictor::PerformancePredictor(const PredictorConfig& config)
     : model_(ToModelConfig(config)) {}
 
-double PerformancePredictor::Predict(const std::vector<int>& tokens) {
-  return model_.Forward(tokens);
+double PerformancePredictor::Predict(const std::vector<int>& tokens) const {
+  return model_.Predict(tokens);
+}
+
+std::vector<double> PerformancePredictor::PredictBatch(
+    const std::vector<std::vector<int>>& batch, int num_threads) const {
+  std::vector<double> scores(batch.size());
+  common::ParallelFor(0, static_cast<int64_t>(batch.size()), num_threads,
+                      [&](int64_t i) {
+                        scores[static_cast<size_t>(i)] =
+                            model_.Predict(batch[static_cast<size_t>(i)]);
+                      });
+  return scores;
 }
 
 double PerformancePredictor::Fit(const std::vector<SequenceRecord>& records,
@@ -60,7 +73,7 @@ double PerformancePredictor::Finetune(
 }
 
 std::vector<double> PerformancePredictor::Encode(
-    const std::vector<int>& tokens) {
+    const std::vector<int>& tokens) const {
   return model_.Encode(tokens);
 }
 

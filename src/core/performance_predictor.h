@@ -4,6 +4,13 @@
 // (sequence, downstream score) pairs with MSE. One forward pass replaces a
 // full k-fold downstream evaluation — the paper's answer to the runtime
 // bottleneck (C1).
+//
+// Scoring goes through the model's inference path: bit-identical to the
+// training forward, backed by a prefix-state cache (appended tokens only are
+// re-encoded) and safe to fan out across threads. PredictBatch scores
+// independent sequences over the shared pool; any thread count reproduces
+// the serial scores bit for bit because each output is a self-contained
+// deterministic computation.
 
 #ifndef FASTFT_CORE_PERFORMANCE_PREDICTOR_H_
 #define FASTFT_CORE_PERFORMANCE_PREDICTOR_H_
@@ -30,6 +37,8 @@ struct PredictorConfig {
   int hidden_dim = 32;
   int num_layers = 2;
   double learning_rate = 2e-3;
+  /// Byte cap of the inference prefix-state cache (0 disables).
+  size_t prefix_cache_bytes = 256 * 1024;
   uint64_t seed = 51;
 };
 
@@ -37,8 +46,14 @@ class PerformancePredictor {
  public:
   explicit PerformancePredictor(const PredictorConfig& config);
 
-  /// Estimated downstream performance of the sequence.
-  double Predict(const std::vector<int>& tokens);
+  /// Estimated downstream performance of the sequence (cached inference).
+  double Predict(const std::vector<int>& tokens) const;
+
+  /// Scores independent sequences, fanning over the shared thread pool
+  /// with up to `num_threads` executors (<= 1 runs inline). Result order
+  /// matches input order; every entry is bit-identical to Predict.
+  std::vector<double> PredictBatch(
+      const std::vector<std::vector<int>>& batch, int num_threads) const;
 
   /// Trains for `epochs` passes over `records` (cold start, Eq. 3).
   /// Returns the final mean squared error.
@@ -48,12 +63,17 @@ class PerformancePredictor {
   double Finetune(const std::vector<SequenceRecord>& records);
 
   /// Pooled sequence embedding (used by the novelty-distance metric of
-  /// Fig. 14 and by embedding-space baselines).
-  std::vector<double> Encode(const std::vector<int>& tokens);
+  /// Fig. 14 and by embedding-space baselines). Cached inference path.
+  std::vector<double> Encode(const std::vector<int>& tokens) const;
 
   /// Persists / restores trained weights (same PredictorConfig required).
   Status Save(const std::string& path) { return model_.Save(path); }
   Status Load(const std::string& path) { return model_.Load(path); }
+
+  /// Counters of the inference prefix-state cache.
+  nn::PrefixCacheStats cache_stats() const {
+    return model_.prefix_cache_stats();
+  }
 
   size_t ParameterBytes() const { return model_.ParameterBytes(); }
   size_t ActivationBytes(int len) const { return model_.ActivationBytes(len); }

@@ -76,6 +76,17 @@ std::string RunReportJson(const Dataset& original,
       << ",\n";
   out << "  \"total_steps\": " << result.total_steps << ",\n";
 
+  const nn::PrefixCacheStats& cache = result.estimation_cache;
+  out << "  \"estimation_cache\": {\"lookups\": " << cache.lookups
+      << ", \"hits\": " << cache.hits << ", \"hit_rate\": ";
+  AppendNumber(out, cache.HitRate());
+  out << ", \"tokens_reused\": " << cache.tokens_reused
+      << ", \"tokens_encoded\": " << cache.tokens_encoded
+      << ", \"token_reuse_rate\": ";
+  AppendNumber(out, cache.TokenReuseRate());
+  out << ", \"evictions\": " << cache.evictions
+      << ", \"invalidations\": " << cache.invalidations << "},\n";
+
   out << "  \"health\": " << result.health.ToJson() << ",\n";
 
   out << "  \"times\": {";

@@ -26,6 +26,21 @@ Matrix Embedding::Forward(const std::vector<int>& ids) {
   return out;
 }
 
+Matrix Embedding::ForwardInfer(const std::vector<int>& ids, int begin,
+                               int end) const {
+  FASTFT_CHECK_GE(begin, 0);
+  FASTFT_CHECK_LE(end, static_cast<int>(ids.size()));
+  FASTFT_CHECK_LT(begin, end);
+  Matrix out(end - begin, dim());
+  for (int i = begin; i < end; ++i) {
+    int id = std::clamp(ids[i], 0, vocab_size() - 1);
+    for (int c = 0; c < dim(); ++c) {
+      out(i - begin, c) = table_.value(id, c);
+    }
+  }
+  return out;
+}
+
 void Embedding::Backward(const Matrix& dy) {
   FASTFT_CHECK_EQ(dy.rows(), static_cast<int>(last_ids_.size()));
   FASTFT_CHECK_EQ(dy.cols(), dim());

@@ -21,6 +21,10 @@ class Embedding {
   /// the vocabulary so unseen tokens degrade gracefully.
   Matrix Forward(const std::vector<int>& ids);
 
+  /// Inference-only gather of ids[begin, end): identical values to Forward
+  /// but writes no backward cache, so concurrent calls are safe.
+  Matrix ForwardInfer(const std::vector<int>& ids, int begin, int end) const;
+
   /// Accumulates gradients into the rows selected by the last Forward.
   void Backward(const Matrix& dy);
 

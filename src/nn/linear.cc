@@ -11,8 +11,12 @@ Linear::Linear(int in_dim, int out_dim, Rng* rng)
       bias_(Matrix(1, out_dim)) {}
 
 Matrix Linear::Forward(const Matrix& x) {
-  FASTFT_CHECK_EQ(x.cols(), weight_.value.rows());
   last_input_ = x;
+  return ForwardInfer(x);
+}
+
+Matrix Linear::ForwardInfer(const Matrix& x) const {
+  FASTFT_CHECK_EQ(x.cols(), weight_.value.rows());
   Matrix y = x.MatMul(weight_.value);
   for (int r = 0; r < y.rows(); ++r) {
     for (int c = 0; c < y.cols(); ++c) y(r, c) += bias_.value(0, c);
@@ -23,12 +27,15 @@ Matrix Linear::Forward(const Matrix& x) {
 Matrix Linear::Backward(const Matrix& dy) {
   FASTFT_CHECK_EQ(dy.rows(), last_input_.rows());
   FASTFT_CHECK_EQ(dy.cols(), weight_.value.cols());
-  // dW = x^T dy, db = colsum(dy), dx = dy W^T.
-  weight_.grad.AddInPlace(last_input_.Transpose().MatMul(dy));
+  // dW = x^T dy, db = colsum(dy), dx = dy W^T — both products fused so
+  // neither the transposes nor the dW product are materialized.
+  last_input_.TransposeMatMulAddInto(dy, &weight_.grad);
   for (int r = 0; r < dy.rows(); ++r) {
     for (int c = 0; c < dy.cols(); ++c) bias_.grad(0, c) += dy(r, c);
   }
-  return dy.MatMul(weight_.value.Transpose());
+  Matrix dx;
+  dy.MatMulTransposeInto(weight_.value, &dx);
+  return dx;
 }
 
 void Linear::CollectParams(std::vector<Parameter*>* params) {

@@ -21,6 +21,10 @@ class Linear {
   /// y = x W + b for row-major x (batch × in_dim).
   Matrix Forward(const Matrix& x);
 
+  /// Inference-only forward: bit-identical to Forward but caches nothing,
+  /// so concurrent calls are safe (no Backward possible afterwards).
+  Matrix ForwardInfer(const Matrix& x) const;
+
   /// Accumulates dW, db; returns dx. Requires a prior Forward call.
   Matrix Backward(const Matrix& dy);
 

@@ -70,6 +70,47 @@ Matrix LstmLayer::Forward(const Matrix& x) {
   return hidden;
 }
 
+Matrix LstmLayer::ForwardInfer(const Matrix& x, std::vector<double>* h_state,
+                               std::vector<double>* c_state) const {
+  FASTFT_CHECK_EQ(x.cols(), input_dim_);
+  const int len = x.rows();
+  const int h = hidden_dim_;
+  const int zdim = h + input_dim_;
+  FASTFT_CHECK_EQ(static_cast<int>(h_state->size()), h);
+  FASTFT_CHECK_EQ(static_cast<int>(c_state->size()), h);
+  Matrix hidden(len, h);
+
+  std::vector<double>& h_prev = *h_state;
+  std::vector<double>& c_prev = *c_state;
+  std::vector<double> z(zdim), c_next(h);
+  for (int t = 0; t < len; ++t) {
+    for (int j = 0; j < h; ++j) z[j] = h_prev[j];
+    for (int j = 0; j < input_dim_; ++j) z[h + j] = x(t, j);
+    for (int j = 0; j < h; ++j) {
+      double pre_i = b_.value(j, 0);
+      double pre_f = b_.value(h + j, 0);
+      double pre_g = b_.value(2 * h + j, 0);
+      double pre_o = b_.value(3 * h + j, 0);
+      for (int k = 0; k < zdim; ++k) {
+        double zk = z[k];
+        pre_i += w_.value(j, k) * zk;
+        pre_f += w_.value(h + j, k) * zk;
+        pre_g += w_.value(2 * h + j, k) * zk;
+        pre_o += w_.value(3 * h + j, k) * zk;
+      }
+      double gi = Sigmoid(pre_i);
+      double gf = Sigmoid(pre_f);
+      double gg = std::tanh(pre_g);
+      double go = Sigmoid(pre_o);
+      c_next[j] = gf * c_prev[j] + gi * gg;
+      hidden(t, j) = go * std::tanh(c_next[j]);
+      h_prev[j] = hidden(t, j);
+    }
+    c_prev = c_next;
+  }
+  return hidden;
+}
+
 Matrix LstmLayer::Backward(const Matrix& dh_all) {
   const int len = static_cast<int>(cache_.size());
   FASTFT_CHECK_EQ(dh_all.rows(), len);

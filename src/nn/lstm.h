@@ -23,6 +23,15 @@ class LstmLayer {
   /// x: (len × input_dim) → hidden states (len × hidden_dim), h0 = c0 = 0.
   Matrix Forward(const Matrix& x);
 
+  /// Inference-only forward continuing from an explicit state: *h / *c
+  /// (size hidden_dim; zeros = the t0 state) are consumed and updated in
+  /// place; returns hidden states for the rows of x. Per-timestep
+  /// arithmetic is identical to Forward, so chunked encoding of a sequence
+  /// is bit-identical to one Forward over the whole sequence. Writes no
+  /// backward caches — safe to call concurrently.
+  Matrix ForwardInfer(const Matrix& x, std::vector<double>* h,
+                      std::vector<double>* c) const;
+
   /// dh: gradient wrt every hidden state (len × hidden_dim). Accumulates
   /// parameter grads; returns dx (len × input_dim).
   Matrix Backward(const Matrix& dh);

@@ -1,5 +1,6 @@
 #include "nn/matrix.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.h"
@@ -7,6 +8,26 @@
 
 namespace fastft {
 namespace nn {
+namespace {
+
+// Column-block width of the product kernels: small enough that the
+// accumulators live in registers, wide enough to stream full cache lines
+// of the right-hand operand.
+constexpr int kColBlock = 8;
+// Tile edge of the blocked transpose (32x32 doubles = two 4 KiB pages of
+// source + destination working set).
+constexpr int kTransposeBlock = 32;
+
+// Reshapes *out to (rows × cols), reusing its storage when the shape
+// already matches. Contents are left unspecified — every kernel below
+// overwrites (or explicitly accumulates into) the full output.
+void Reshape(int rows, int cols, Matrix* out) {
+  if (out->rows() != rows || out->cols() != cols) {
+    *out = Matrix(rows, cols);
+  }
+}
+
+}  // namespace
 
 Matrix Matrix::Randn(int rows, int cols, double scale, Rng* rng) {
   Matrix m(rows, cols);
@@ -22,30 +43,134 @@ std::vector<double> Matrix::RowVec(int r) const {
   return out;
 }
 
+RowSpan Matrix::Row(int r) const {
+  FASTFT_CHECK_GE(r, 0);
+  FASTFT_CHECK_LT(r, rows_);
+  return RowSpan{data() + static_cast<size_t>(r) * cols_, cols_};
+}
+
 void Matrix::Fill(double value) {
   for (double& v : data_) v = value;
 }
 
 Matrix Matrix::Transpose() const {
   Matrix out(cols_, rows_);
-  for (int r = 0; r < rows_; ++r) {
-    for (int c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  // Tile so both the row-major reads and the column-major writes stay
+  // within a cache-resident block instead of striding the full matrix.
+  for (int r0 = 0; r0 < rows_; r0 += kTransposeBlock) {
+    const int r1 = std::min(r0 + kTransposeBlock, rows_);
+    for (int c0 = 0; c0 < cols_; c0 += kTransposeBlock) {
+      const int c1 = std::min(c0 + kTransposeBlock, cols_);
+      for (int r = r0; r < r1; ++r) {
+        const double* src = data() + static_cast<size_t>(r) * cols_;
+        for (int c = c0; c < c1; ++c) out(c, r) = src[c];
+      }
+    }
   }
   return out;
 }
 
-Matrix Matrix::MatMul(const Matrix& other) const {
+void Matrix::MatMulInto(const Matrix& other, Matrix* out) const {
   FASTFT_CHECK_EQ(cols_, other.rows_);
-  Matrix out(rows_, other.cols_);
-  for (int i = 0; i < rows_; ++i) {
-    for (int k = 0; k < cols_; ++k) {
-      double a = (*this)(i, k);
-      if (a == 0.0) continue;
-      const double* brow = other.data() + static_cast<size_t>(k) * other.cols_;
-      double* orow = out.data() + static_cast<size_t>(i) * other.cols_;
-      for (int j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+  FASTFT_CHECK(out != this && out != &other);
+  const int m = rows_, kdim = cols_, n = other.cols_;
+  Reshape(m, n, out);
+  // For each (i, j-block): one register accumulator per output element,
+  // summed over the full k range in ascending order. No zero short-circuit:
+  // 0 · Inf and 0 · NaN must propagate NaN instead of silently vanishing.
+  for (int j0 = 0; j0 < n; j0 += kColBlock) {
+    const int jw = std::min(kColBlock, n - j0);
+    for (int i = 0; i < m; ++i) {
+      const double* arow = data() + static_cast<size_t>(i) * kdim;
+      double acc[kColBlock] = {0.0};
+      for (int k = 0; k < kdim; ++k) {
+        const double a = arow[k];
+        const double* brow = other.data() + static_cast<size_t>(k) * n + j0;
+        for (int j = 0; j < jw; ++j) acc[j] += a * brow[j];
+      }
+      double* orow = out->data() + static_cast<size_t>(i) * n + j0;
+      for (int j = 0; j < jw; ++j) orow[j] = acc[j];
     }
   }
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  Matrix out;
+  MatMulInto(other, &out);
+  return out;
+}
+
+void Matrix::TransposeMatMulInto(const Matrix& other, Matrix* out) const {
+  FASTFT_CHECK_EQ(rows_, other.rows_);
+  FASTFT_CHECK(out != this && out != &other);
+  const int m = cols_, kdim = rows_, n = other.cols_;
+  Reshape(m, n, out);
+  for (int j0 = 0; j0 < n; j0 += kColBlock) {
+    const int jw = std::min(kColBlock, n - j0);
+    for (int i = 0; i < m; ++i) {
+      double acc[kColBlock] = {0.0};
+      for (int t = 0; t < kdim; ++t) {
+        const double a = (*this)(t, i);
+        const double* brow = other.data() + static_cast<size_t>(t) * n + j0;
+        for (int j = 0; j < jw; ++j) acc[j] += a * brow[j];
+      }
+      double* orow = out->data() + static_cast<size_t>(i) * n + j0;
+      for (int j = 0; j < jw; ++j) orow[j] = acc[j];
+    }
+  }
+}
+
+Matrix Matrix::TransposeMatMul(const Matrix& other) const {
+  Matrix out;
+  TransposeMatMulInto(other, &out);
+  return out;
+}
+
+void Matrix::TransposeMatMulAddInto(const Matrix& other, Matrix* out) const {
+  FASTFT_CHECK_EQ(rows_, other.rows_);
+  FASTFT_CHECK(out != this && out != &other);
+  const int m = cols_, kdim = rows_, n = other.cols_;
+  FASTFT_CHECK_EQ(out->rows(), m);
+  FASTFT_CHECK_EQ(out->cols(), n);
+  // Each element's chain completes in a register before the single += into
+  // *out — the same float order as materializing the product and calling
+  // AddInPlace, without the temporary.
+  for (int j0 = 0; j0 < n; j0 += kColBlock) {
+    const int jw = std::min(kColBlock, n - j0);
+    for (int i = 0; i < m; ++i) {
+      double acc[kColBlock] = {0.0};
+      for (int t = 0; t < kdim; ++t) {
+        const double a = (*this)(t, i);
+        const double* brow = other.data() + static_cast<size_t>(t) * n + j0;
+        for (int j = 0; j < jw; ++j) acc[j] += a * brow[j];
+      }
+      double* orow = out->data() + static_cast<size_t>(i) * n + j0;
+      for (int j = 0; j < jw; ++j) orow[j] += acc[j];
+    }
+  }
+}
+
+void Matrix::MatMulTransposeInto(const Matrix& other, Matrix* out) const {
+  FASTFT_CHECK_EQ(cols_, other.cols_);
+  FASTFT_CHECK(out != this && out != &other);
+  const int m = rows_, kdim = cols_, n = other.rows_;
+  Reshape(m, n, out);
+  // Row-times-row dot products: both operands stream contiguously.
+  for (int i = 0; i < m; ++i) {
+    const double* arow = data() + static_cast<size_t>(i) * kdim;
+    double* orow = out->data() + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const double* brow = other.data() + static_cast<size_t>(j) * kdim;
+      double acc = 0.0;
+      for (int k = 0; k < kdim; ++k) acc += arow[k] * brow[k];
+      orow[j] = acc;
+    }
+  }
+}
+
+Matrix Matrix::MatMulTranspose(const Matrix& other) const {
+  Matrix out;
+  MatMulTransposeInto(other, &out);
   return out;
 }
 

@@ -1,7 +1,14 @@
 // Dense row-major matrix of doubles — the tensor type of the nn library.
 //
 // Sized for the paper's tiny sequence models (embedding dim 32, hidden 32):
-// straightforward loops beat the complexity of a BLAS dependency here.
+// cache-blocked hand loops beat the complexity of a BLAS dependency here.
+//
+// Bit-identity contract: every product kernel accumulates each output
+// element as one chain of additions in ascending inner (k) index, exactly
+// the order of the textbook triple loop. Blocking only changes which
+// elements are in flight together, never the per-element summation order,
+// so results are bit-identical to the naive kernel — the property the
+// estimation path's exact-`==` determinism tests rely on.
 
 #ifndef FASTFT_NN_MATRIX_H_
 #define FASTFT_NN_MATRIX_H_
@@ -14,6 +21,17 @@ namespace fastft {
 class Rng;
 
 namespace nn {
+
+/// Borrowed view of one matrix row (pointer + length). Valid only while the
+/// owning matrix is alive and unmodified; cheap to copy, never owns memory.
+struct RowSpan {
+  const double* data = nullptr;
+  int size = 0;
+
+  double operator[](int i) const { return data[i]; }
+  const double* begin() const { return data; }
+  const double* end() const { return data + size; }
+};
 
 class Matrix {
  public:
@@ -40,12 +58,32 @@ class Matrix {
 
   /// Row `r` as a vector copy.
   std::vector<double> RowVec(int r) const;
+  /// Row `r` as a borrowed view — use instead of RowVec when only reading.
+  RowSpan Row(int r) const;
 
   void Fill(double value);
+  /// Cache-blocked out-of-place transpose.
   Matrix Transpose() const;
 
   /// this * other.
   Matrix MatMul(const Matrix& other) const;
+  /// this * other written into *out (resized as needed; no temporary).
+  /// *out must not alias either operand.
+  void MatMulInto(const Matrix& other, Matrix* out) const;
+
+  /// thisᵀ * other without forming the transpose:
+  /// out(i, j) = Σ_t this(t, i) · other(t, j), t ascending.
+  Matrix TransposeMatMul(const Matrix& other) const;
+  void TransposeMatMulInto(const Matrix& other, Matrix* out) const;
+  /// Gradient-fusion variant: accumulates the fully-summed product into
+  /// *out (each element's chain is completed before the single += — the
+  /// same float order as TransposeMatMulInto followed by AddInPlace).
+  void TransposeMatMulAddInto(const Matrix& other, Matrix* out) const;
+
+  /// this * otherᵀ without forming the transpose:
+  /// out(i, j) = Σ_k this(i, k) · other(j, k), k ascending.
+  Matrix MatMulTranspose(const Matrix& other) const;
+  void MatMulTransposeInto(const Matrix& other, Matrix* out) const;
 
   void AddInPlace(const Matrix& other);
   void ScaleInPlace(double factor);

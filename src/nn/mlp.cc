@@ -28,6 +28,22 @@ Matrix Mlp::Forward(const Matrix& x) {
   return h;
 }
 
+Matrix Mlp::ForwardInfer(const Matrix& x) const {
+  Matrix h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].ForwardInfer(h);
+    if (i + 1 < layers_.size()) {
+      // In-place ReLU: the same values Relu::Forward produces.
+      for (int r = 0; r < h.rows(); ++r) {
+        for (int c = 0; c < h.cols(); ++c) {
+          if (h(r, c) < 0.0) h(r, c) = 0.0;
+        }
+      }
+    }
+  }
+  return h;
+}
+
 Matrix Mlp::Backward(const Matrix& dy) {
   Matrix d = dy;
   for (size_t i = layers_.size(); i-- > 0;) {

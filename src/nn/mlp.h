@@ -32,6 +32,10 @@ class Mlp {
   Matrix Forward(const Matrix& x);
   Matrix Backward(const Matrix& dy);
 
+  /// Inference-only forward: bit-identical to Forward, caches nothing,
+  /// safe to call concurrently.
+  Matrix ForwardInfer(const Matrix& x) const;
+
   void CollectParams(std::vector<Parameter*>* params);
 
   int in_dim() const { return layers_.empty() ? 0 : layers_.front().in_dim(); }

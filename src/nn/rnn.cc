@@ -38,6 +38,30 @@ Matrix RnnLayer::Forward(const Matrix& x) {
   return h_cache_;
 }
 
+Matrix RnnLayer::ForwardInfer(const Matrix& x,
+                              std::vector<double>* h_state) const {
+  FASTFT_CHECK_EQ(x.cols(), input_dim_);
+  const int len = x.rows();
+  const int h = hidden_dim_;
+  const int zdim = h + input_dim_;
+  FASTFT_CHECK_EQ(static_cast<int>(h_state->size()), h);
+  Matrix hidden(len, h);
+
+  std::vector<double>& h_prev = *h_state;
+  std::vector<double> z(zdim);
+  for (int t = 0; t < len; ++t) {
+    for (int j = 0; j < h; ++j) z[j] = h_prev[j];
+    for (int j = 0; j < input_dim_; ++j) z[h + j] = x(t, j);
+    for (int j = 0; j < h; ++j) {
+      double pre = b_.value(j, 0);
+      for (int k = 0; k < zdim; ++k) pre += w_.value(j, k) * z[k];
+      hidden(t, j) = std::tanh(pre);
+      h_prev[j] = hidden(t, j);
+    }
+  }
+  return hidden;
+}
+
 Matrix RnnLayer::Backward(const Matrix& dh_all) {
   const int len = static_cast<int>(z_cache_.size());
   FASTFT_CHECK_EQ(dh_all.rows(), len);

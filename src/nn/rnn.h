@@ -19,6 +19,11 @@ class RnnLayer {
 
   /// h_t = tanh(W [h_{t-1}; x_t] + b); returns (len × hidden_dim).
   Matrix Forward(const Matrix& x);
+
+  /// Inference-only forward from an explicit hidden state *h (size
+  /// hidden_dim; zeros = t0), updated in place. Bit-identical per timestep
+  /// to Forward; writes no backward caches, safe to call concurrently.
+  Matrix ForwardInfer(const Matrix& x, std::vector<double>* h) const;
   /// Accumulates grads, returns dx.
   Matrix Backward(const Matrix& dh);
 

@@ -21,7 +21,10 @@ const char* BackboneName(Backbone backbone) {
 }
 
 SequenceModel::SequenceModel(const SequenceModelConfig& config)
-    : config_(config) {
+    : config_(config),
+      prefix_cache_(config.backbone == Backbone::kTransformer
+                        ? 0
+                        : config.prefix_cache_bytes) {
   Rng rng(config.seed);
   embedding_ = Embedding(config.vocab_size, config.embed_dim, &rng);
   int in_dim = config.embed_dim;
@@ -93,10 +96,82 @@ double SequenceModel::Forward(const std::vector<int>& tokens) {
   return out(0, 0);
 }
 
-std::vector<double> SequenceModel::Encode(const std::vector<int>& tokens) {
+EncodeState SequenceModel::ZeroState() const {
+  EncodeState state;
+  state.layers.resize(static_cast<size_t>(config_.num_layers));
+  for (RecurrentLayerState& layer : state.layers) {
+    layer.h.assign(static_cast<size_t>(config_.hidden_dim), 0.0);
+    if (config_.backbone == Backbone::kLstm) {
+      layer.c.assign(static_cast<size_t>(config_.hidden_dim), 0.0);
+    }
+  }
+  state.length = 0;
+  return state;
+}
+
+void SequenceModel::AdvanceState(const std::vector<int>& tokens, int upto,
+                                 EncodeState* state) const {
+  FASTFT_CHECK(SupportsIncremental());
+  if (state->length >= upto) return;
+  // One chunk of appended tokens flows through the whole stack: layer l
+  // consumes layer l-1's chunk output while both carry their states
+  // forward, which reproduces the per-timestep order of a full Forward.
+  Matrix h = embedding_.ForwardInfer(tokens, state->length, upto);
+  size_t layer_index = 0;
+  for (const LstmLayer& layer : lstm_layers_) {
+    RecurrentLayerState& ls = state->layers[layer_index++];
+    h = layer.ForwardInfer(h, &ls.h, &ls.c);
+  }
+  for (const RnnLayer& layer : rnn_layers_) {
+    RecurrentLayerState& ls = state->layers[layer_index++];
+    h = layer.ForwardInfer(h, &ls.h);
+  }
+  state->length = upto;
+}
+
+Matrix SequenceModel::InferencePooled(const std::vector<int>& tokens) const {
+  const int n = static_cast<int>(tokens.size());
+  if (!SupportsIncremental()) {
+    Matrix h = embedding_.ForwardInfer(tokens, 0, n);
+    for (const TransformerBlock& layer : transformer_layers_) {
+      h = layer.ForwardInfer(h);
+    }
+    return Pool(h);
+  }
+  EncodeState state;
+  if (!prefix_cache_.LongestPrefix(tokens, &state)) state = ZeroState();
+  const int start = state.length;
+  // Advance in two chunks with a snapshot at n-1: the engine's sequences
+  // replace their trailing EOS each step, so the n-1 prefix — not the full
+  // sequence — is what the next step resumes from.
+  if (state.length < n - 1) {
+    AdvanceState(tokens, n - 1, &state);
+    prefix_cache_.Insert(tokens, state);
+  }
+  if (state.length < n) {
+    AdvanceState(tokens, n, &state);
+    prefix_cache_.Insert(tokens, state);
+  }
+  prefix_cache_.RecordEncoded(n - start);
+  // Last-timestep pooling: the top layer's hidden state IS the pooled row.
+  Matrix pooled(1, config_.hidden_dim);
+  const std::vector<double>& top = state.layers.back().h;
+  for (int c = 0; c < config_.hidden_dim; ++c) pooled(0, c) = top[c];
+  return pooled;
+}
+
+double SequenceModel::Predict(const std::vector<int>& tokens) const {
   FASTFT_CHECK(!tokens.empty());
-  Matrix hidden = RunBackbone(embedding_.Forward(tokens));
-  return Pool(hidden).RowVec(0);
+  Matrix out = head_.ForwardInfer(InferencePooled(tokens));
+  return out(0, 0);
+}
+
+std::vector<double> SequenceModel::Encode(
+    const std::vector<int>& tokens) const {
+  FASTFT_CHECK(!tokens.empty());
+  Matrix pooled = InferencePooled(tokens);
+  RowSpan row = pooled.Row(0);
+  return std::vector<double>(row.begin(), row.end());
 }
 
 double SequenceModel::TrainStep(const std::vector<int>& tokens,
@@ -130,6 +205,8 @@ double SequenceModel::TrainStep(const std::vector<int>& tokens,
 void SequenceModel::ApplyStep() {
   ClipGradNorm(optimizer_->params(), 5.0);
   optimizer_->Step();
+  // Cached prefix states were computed under the old weights.
+  prefix_cache_.Invalidate();
 }
 
 std::vector<Parameter*> SequenceModel::Params() {

@@ -4,6 +4,15 @@
 // Novelty Estimator networks (paper §III-C): 2 stacked LSTM layers with
 // embedding dim 32, followed by fully-connected layers. The backbone is
 // swappable (LSTM / RNN / Transformer) for the Fig. 8 ablation.
+//
+// Two forward paths exist:
+//   * Forward/TrainStep — the training path; caches activations for
+//     backprop and must not be called concurrently.
+//   * Predict/EncodeInfer — the inference path of the estimation hot loop;
+//     bit-identical values, no training caches, safe to call concurrently,
+//     and (for LSTM/RNN backbones) resumes from a prefix-state cache so a
+//     sequence that extends a previously-seen prefix re-encodes only the
+//     appended tokens. The cache is invalidated on every weight update.
 
 #ifndef FASTFT_NN_SEQUENCE_MODEL_H_
 #define FASTFT_NN_SEQUENCE_MODEL_H_
@@ -13,6 +22,7 @@
 #include <vector>
 
 #include "nn/embedding.h"
+#include "nn/encode_cache.h"
 #include "nn/lstm.h"
 #include "nn/matrix.h"
 #include "nn/mlp.h"
@@ -41,6 +51,10 @@ struct SequenceModelConfig {
   /// When > 0, head weights are orthogonally initialized with this gain
   /// (the paper's "coupled orthogonal initialization scaling factor", 16.0).
   double orthogonal_gain = 0.0;
+  /// Byte cap of the inference prefix-state cache (0 disables). Only
+  /// recurrent backbones reuse prefix states; the transformer re-encodes
+  /// in full either way.
+  size_t prefix_cache_bytes = 256 * 1024;
   uint64_t seed = 97;
 };
 
@@ -51,12 +65,17 @@ class SequenceModel {
   SequenceModel(const SequenceModel&) = delete;
   SequenceModel& operator=(const SequenceModel&) = delete;
 
-  /// Scalar output for a token sequence (first head output if head is wider).
+  /// Scalar output for a token sequence (first head output if head is
+  /// wider). Training path: caches activations for TrainStep.
   double Forward(const std::vector<int>& tokens);
 
+  /// Inference-only scalar output: bit-identical to Forward, resumes from
+  /// the prefix-state cache, safe to call concurrently.
+  double Predict(const std::vector<int>& tokens) const;
+
   /// Pooled backbone representation (no head), for embedding-space uses
-  /// (novelty distance metric, DIFER search).
-  std::vector<double> Encode(const std::vector<int>& tokens);
+  /// (novelty distance metric, DIFER search). Inference path (cached).
+  std::vector<double> Encode(const std::vector<int>& tokens) const;
 
   /// Accumulates gradients of 0.5*(Forward(tokens) - target)^2.
   /// Returns the squared error. Call optimizer Step() to apply.
@@ -70,13 +89,21 @@ class SequenceModel {
   int64_t non_finite_skips() const { return non_finite_skips_; }
 
   /// Gradient step helper: clip + Adam step over this model's params.
+  /// Weights change, so the prefix-state cache is invalidated.
   void ApplyStep();
 
   std::vector<Parameter*> Params();
 
   /// Persists / restores the trained weights (architecture must match).
   Status Save(const std::string& path) { return SaveParameters(Params(), path); }
-  Status Load(const std::string& path) { return LoadParameters(Params(), path); }
+  Status Load(const std::string& path) {
+    Status status = LoadParameters(Params(), path);
+    prefix_cache_.Invalidate();
+    return status;
+  }
+
+  /// Counters of the inference prefix-state cache.
+  PrefixCacheStats prefix_cache_stats() const { return prefix_cache_.stats(); }
 
   size_t ParameterBytes() const;
   size_t ActivationBytes(int sequence_length) const;
@@ -90,6 +117,21 @@ class SequenceModel {
   /// Distributes pooled gradient back over timesteps.
   Matrix Unpool(const Matrix& d_pooled, int len) const;
 
+  /// True when the backbone's state after a prefix summarizes it exactly
+  /// (LSTM/RNN); false for the transformer, whose attention is global.
+  bool SupportsIncremental() const {
+    return config_.backbone != Backbone::kTransformer;
+  }
+  /// Fresh all-zeros state (the t0 state of Forward).
+  EncodeState ZeroState() const;
+  /// Encodes tokens[state->length, upto) continuing from *state, updating
+  /// it in place. Recurrent backbones only.
+  void AdvanceState(const std::vector<int>& tokens, int upto,
+                    EncodeState* state) const;
+  /// Pooled (1 × hidden) representation via the inference path, consulting
+  /// and feeding the prefix-state cache.
+  Matrix InferencePooled(const std::vector<int>& tokens) const;
+
   SequenceModelConfig config_;
   Embedding embedding_;
   std::vector<LstmLayer> lstm_layers_;
@@ -97,6 +139,7 @@ class SequenceModel {
   std::vector<TransformerBlock> transformer_layers_;
   Mlp head_;
   std::unique_ptr<AdamOptimizer> optimizer_;
+  mutable PrefixStateCache prefix_cache_;
   int last_len_ = 0;
   int64_t non_finite_skips_ = 0;
 };

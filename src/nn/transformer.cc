@@ -26,7 +26,7 @@ Matrix TransformerBlock::Forward(const Matrix& x) {
   v_ = wv_.Forward(x);
 
   // Scaled dot-product attention with row softmax.
-  Matrix scores = q_.MatMul(k_.Transpose());
+  Matrix scores = q_.MatMulTranspose(k_);
   scores.ScaleInPlace(scale);
   attn_ = Matrix(len, len);
   for (int r = 0; r < len; ++r) {
@@ -49,6 +49,45 @@ Matrix TransformerBlock::Forward(const Matrix& x) {
   return ff;
 }
 
+Matrix TransformerBlock::ForwardInfer(const Matrix& x) const {
+  FASTFT_CHECK_EQ(x.cols(), dim_);
+  const int len = x.rows();
+  const double scale = 1.0 / std::sqrt(static_cast<double>(dim_));
+
+  // Same arithmetic as Forward with all activations kept local.
+  Matrix q = wq_.ForwardInfer(x);
+  Matrix k = wk_.ForwardInfer(x);
+  Matrix v = wv_.ForwardInfer(x);
+
+  Matrix scores = q.MatMulTranspose(k);
+  scores.ScaleInPlace(scale);
+  Matrix attn(len, len);
+  for (int r = 0; r < len; ++r) {
+    double max_score = -1e300;
+    for (int c = 0; c < len; ++c) max_score = std::max(max_score, scores(r, c));
+    double denom = 0.0;
+    for (int c = 0; c < len; ++c) {
+      attn(r, c) = std::exp(scores(r, c) - max_score);
+      denom += attn(r, c);
+    }
+    for (int c = 0; c < len; ++c) attn(r, c) /= denom;
+  }
+
+  Matrix context = attn.MatMul(v);
+  Matrix attended = wo_.ForwardInfer(context);
+  attended.AddInPlace(x);  // residual 1
+
+  Matrix h = ff1_.ForwardInfer(attended);
+  for (int r = 0; r < h.rows(); ++r) {
+    for (int c = 0; c < h.cols(); ++c) {
+      if (h(r, c) < 0.0) h(r, c) = 0.0;
+    }
+  }
+  Matrix ff = ff2_.ForwardInfer(h);
+  ff.AddInPlace(attended);  // residual 2
+  return ff;
+}
+
 Matrix TransformerBlock::Backward(const Matrix& dy) {
   const double scale = 1.0 / std::sqrt(static_cast<double>(dim_));
 
@@ -58,8 +97,8 @@ Matrix TransformerBlock::Backward(const Matrix& dy) {
 
   // Attention branch.
   Matrix d_context = wo_.Backward(d_attended);
-  Matrix d_attn = d_context.MatMul(v_.Transpose());
-  Matrix dv = attn_.Transpose().MatMul(d_context);
+  Matrix d_attn = d_context.MatMulTranspose(v_);
+  Matrix dv = attn_.TransposeMatMul(d_context);
 
   // Softmax backward per row: dS = A ∘ (dA - rowsum(dA ∘ A)).
   const int len = attn_.rows();
@@ -74,7 +113,7 @@ Matrix TransformerBlock::Backward(const Matrix& dy) {
   d_scores.ScaleInPlace(scale);
 
   Matrix dq = d_scores.MatMul(k_);
-  Matrix dk = d_scores.Transpose().MatMul(q_);
+  Matrix dk = d_scores.TransposeMatMul(q_);
 
   Matrix dx = wq_.Backward(dq);
   dx.AddInPlace(wk_.Backward(dk));

@@ -28,6 +28,12 @@ class TransformerBlock {
   Matrix Forward(const Matrix& x);
   Matrix Backward(const Matrix& dy);
 
+  /// Inference-only forward: bit-identical to Forward, caches nothing,
+  /// safe to call concurrently. (Attention spans the full sequence, so the
+  /// transformer has no incremental prefix form — batched scoring uses
+  /// this full re-encode path.)
+  Matrix ForwardInfer(const Matrix& x) const;
+
   void CollectParams(std::vector<Parameter*>* params);
 
   int dim() const { return dim_; }

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/rng.h"
 #include "nn/init.h"
@@ -79,6 +80,106 @@ TEST(MatrixTest, AddScaleNorm) {
   EXPECT_DOUBLE_EQ(b(0, 1), 8.0);
   a.AddInPlace(b);
   EXPECT_DOUBLE_EQ(a(0, 0), 9.0);
+}
+
+// Regression: the old kernel skipped a == 0.0 operands, silently turning
+// 0 · Inf and 0 · NaN (both NaN) into 0 and hiding non-finite inputs.
+TEST(MatrixTest, MatMulPropagatesNaNThroughZeroOperand) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  Matrix a(1, 2);
+  a(0, 0) = 0.0;
+  a(0, 1) = 1.0;
+  Matrix b(2, 2);
+  b(0, 0) = inf;
+  b(0, 1) = nan;
+  b(1, 0) = 2.0;
+  b(1, 1) = 3.0;
+  Matrix c = a.MatMul(b);
+  EXPECT_TRUE(std::isnan(c(0, 0)));  // 0·Inf + 1·2
+  EXPECT_TRUE(std::isnan(c(0, 1)));  // 0·NaN + 1·3
+}
+
+// The blocked kernels must reproduce the naive ascending-k summation order
+// bit for bit; odd shapes straddle the block boundaries on purpose.
+TEST(MatrixTest, BlockedKernelsBitIdenticalToMaterializedForms) {
+  Rng rng(11);
+  const int m = 13, k = 37, n = 21;
+  Matrix a = Matrix::Randn(m, k, 1.0, &rng);
+  Matrix b = Matrix::Randn(k, n, 1.0, &rng);
+
+  Matrix into;
+  a.MatMulInto(b, &into);
+  Matrix product = a.MatMul(b);
+  ASSERT_EQ(into.rows(), m);
+  ASSERT_EQ(into.cols(), n);
+  for (int r = 0; r < m; ++r) {
+    for (int c = 0; c < n; ++c) EXPECT_EQ(into(r, c), product(r, c));
+  }
+
+  // aᵀ · a_other without materializing the transpose.
+  Matrix other = Matrix::Randn(m, n, 1.0, &rng);
+  Matrix fused_t = a.TransposeMatMul(other);
+  Matrix materialized_t = a.Transpose().MatMul(other);
+  ASSERT_EQ(fused_t.rows(), k);
+  ASSERT_EQ(fused_t.cols(), n);
+  for (int r = 0; r < k; ++r) {
+    for (int c = 0; c < n; ++c) {
+      EXPECT_EQ(fused_t(r, c), materialized_t(r, c));
+    }
+  }
+
+  // a · bᵀ without materializing the transpose.
+  Matrix rhs = Matrix::Randn(n, k, 1.0, &rng);
+  Matrix fused_bt = a.MatMulTranspose(rhs);
+  Matrix materialized_bt = a.MatMul(rhs.Transpose());
+  ASSERT_EQ(fused_bt.rows(), m);
+  ASSERT_EQ(fused_bt.cols(), n);
+  for (int r = 0; r < m; ++r) {
+    for (int c = 0; c < n; ++c) {
+      EXPECT_EQ(fused_bt(r, c), materialized_bt(r, c));
+    }
+  }
+}
+
+TEST(MatrixTest, TransposeMatMulAddIntoMatchesSeparateAdd) {
+  Rng rng(12);
+  Matrix a = Matrix::Randn(9, 5, 1.0, &rng);
+  Matrix dy = Matrix::Randn(9, 7, 1.0, &rng);
+  Matrix grad = Matrix::Randn(5, 7, 1.0, &rng);
+  Matrix expected = grad;
+  expected.AddInPlace(a.TransposeMatMul(dy));
+  a.TransposeMatMulAddInto(dy, &grad);
+  for (int r = 0; r < 5; ++r) {
+    for (int c = 0; c < 7; ++c) EXPECT_EQ(grad(r, c), expected(r, c));
+  }
+}
+
+TEST(MatrixTest, BlockedTransposeOddSizes) {
+  // 33 × 17 straddles the 32-wide transpose tiles in both dimensions.
+  Matrix m(33, 17);
+  for (int r = 0; r < 33; ++r) {
+    for (int c = 0; c < 17; ++c) m(r, c) = r * 100.0 + c;
+  }
+  Matrix t = m.Transpose();
+  ASSERT_EQ(t.rows(), 17);
+  ASSERT_EQ(t.cols(), 33);
+  for (int r = 0; r < 33; ++r) {
+    for (int c = 0; c < 17; ++c) EXPECT_EQ(t(c, r), m(r, c));
+  }
+}
+
+TEST(MatrixTest, RowSpanViewsRowWithoutCopy) {
+  Matrix m(3, 4);
+  for (int c = 0; c < 4; ++c) m(1, c) = c + 0.5;
+  RowSpan span = m.Row(1);
+  ASSERT_EQ(span.size, 4);
+  EXPECT_EQ(span.data, m.data() + 4);  // borrowed, not copied
+  std::vector<double> copy = m.RowVec(1);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(span[c], copy[static_cast<size_t>(c)]);
+  }
+  EXPECT_EQ(std::vector<double>(span.begin(), span.end()), copy);
 }
 
 TEST(InitTest, OrthogonalRowsAreOrthonormal) {

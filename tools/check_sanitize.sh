@@ -13,7 +13,9 @@
 # The thread leg runs the full suite — the parallel-evaluation tests
 # (threadpool_test, parallel_determinism_test, and the evaluator/engine
 # tests with num_threads > 1) are the ones that put real concurrency under
-# TSan.
+# TSan — and then re-runs the batched estimation-scoring tests by name
+# (estimation_path_test's BatchScoring / EngineEstimation suites), which
+# fan Predict/Novelty inference over the shared pool.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,6 +33,11 @@ for SAN in "${SANITIZERS[@]}"; do
         -DFASTFT_BUILD_EXAMPLES=OFF
   cmake --build "${BUILD_DIR}" -j "${JOBS}"
   (cd "${BUILD_DIR}" && ctest --output-on-failure -j "${JOBS}")
+  if [[ "${SAN}" == "thread" ]]; then
+    echo "=== thread leg: batched estimation-scoring tests ==="
+    (cd "${BUILD_DIR}" && ctest --output-on-failure \
+        -R 'BatchScoring|EngineEstimation')
+  fi
 done
 
 echo "all sanitizer runs passed"
