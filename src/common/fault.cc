@@ -2,6 +2,7 @@
 
 #include <mutex>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 
 namespace fastft {
@@ -73,7 +74,12 @@ bool FaultInjector::ShouldFail(const char* site) {
   uint64_t draw = SplitMix64(stream);
   double u = static_cast<double>(draw >> 11) * 0x1.0p-53;
   bool fire = u < s.probability;
-  if (fire) ++s.stats.fires;
+  if (fire) {
+    ++s.stats.fires;
+    static obs::Counter* trips =
+        obs::MetricsRegistry::Global().GetCounter("fault.trips");
+    trips->Increment();
+  }
   return fire;
 }
 

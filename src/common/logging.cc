@@ -1,13 +1,20 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+
+#include "common/trace.h"
 
 namespace fastft {
 namespace {
 
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
+
+std::mutex g_sink_mu;
+std::vector<std::string>* g_sink = nullptr;  // test hook; nullptr = stderr
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -23,6 +30,15 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+/// Milliseconds since the first logging call (≈ process start: the origin
+/// is a function-local static, captured once, thread-safe).
+double MonotonicMs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point origin = Clock::now();
+  return std::chrono::duration<double, std::milli>(Clock::now() - origin)
+      .count();
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
@@ -35,6 +51,11 @@ LogLevel GetLogLevel() {
 
 namespace internal {
 
+void SetLogSinkForTest(std::vector<std::string>* sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  g_sink = sink;
+}
+
 LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
     : level_(level), fatal_(fatal) {
   enabled_ = fatal_ || static_cast<int>(level) >=
@@ -44,13 +65,25 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
     for (const char* p = file; *p; ++p) {
       if (*p == '/') slash = p;
     }
-    stream_ << "[" << LevelName(level_) << " " << (slash ? slash + 1 : file)
+    char timestamp[32];
+    std::snprintf(timestamp, sizeof(timestamp), "+%.3fms", MonotonicMs());
+    stream_ << "[" << LevelName(level_) << " " << timestamp << " T"
+            << obs::CurrentThreadId() << " " << (slash ? slash + 1 : file)
             << ":" << line << "] ";
   }
 }
 
 LogMessage::~LogMessage() {
   if (enabled_) {
+    {
+      std::lock_guard<std::mutex> lock(g_sink_mu);
+      if (g_sink != nullptr) {
+        g_sink->push_back(stream_.str());
+        if (!fatal_) return;
+        // Fatal lines reach stderr too: the abort below must be explicable
+        // even when a test sink is installed.
+      }
+    }
     stream_ << "\n";
     std::fputs(stream_.str().c_str(), stderr);
     std::fflush(stderr);

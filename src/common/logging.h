@@ -3,12 +3,20 @@
 // FASTFT_CHECK* enforce internal invariants; violation aborts with a message.
 // Logging defaults to kWarning so benchmarks stay quiet; harnesses can raise
 // verbosity with SetLogLevel.
+//
+// Line format (see LoggingTest.LineFormat):
+//   [WARN +12.345ms T0 file.cc:42] message
+// where +ms is monotonic time since process start (first logging call) and
+// TN is the small stable thread id assigned by the obs tracing layer — the
+// same id that attributes trace spans, so log lines and trace events from
+// one pool worker correlate.
 
 #ifndef FASTFT_COMMON_LOGGING_H_
 #define FASTFT_COMMON_LOGGING_H_
 
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace fastft {
 
@@ -19,6 +27,11 @@ void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
 namespace internal {
+
+/// Redirects emitted log lines into `sink` instead of stderr (test hook;
+/// pass nullptr to restore stderr). Not for concurrent use with logging
+/// threads other than the test's own.
+void SetLogSinkForTest(std::vector<std::string>* sink);
 
 /// Stream-style log line; emits on destruction. `fatal` aborts the process.
 class LogMessage {

@@ -1,0 +1,145 @@
+// Unified metrics registry — the fastft::obs counting layer.
+//
+// Replaces the one-off stat plumbing that accumulated in EngineResult
+// (estimation-cache counters, evaluation counts, ...) with a process-wide
+// registry of named counters, gauges, and fixed-bucket histograms. The
+// engine snapshots the registry at the start and end of a run and reports
+// the delta, so concurrent instrumented subsystems (thread pool, encode
+// cache, forests) all feed one "metrics" section of the run report.
+//
+// All mutation paths are lock-free atomics, safe to call from pool workers;
+// registration (name -> metric lookup) takes a mutex, so call sites cache
+// the returned pointer (metrics live for the process lifetime — pointers
+// never dangle). Counting never changes any computation: engine outputs are
+// bit-identical whether a run snapshots metrics or not.
+//
+// Metric naming scheme: "<subsystem>.<metric>[_<unit>]", e.g.
+// "engine.steps", "pool.queue_wait_us", "encode_cache.hits".
+
+#ifndef FASTFT_COMMON_METRICS_H_
+#define FASTFT_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fastft {
+namespace obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-written instantaneous value.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: counts per upper bound plus an implicit +Inf
+/// overflow bucket, with total count / sum / max.
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly ascending; a value lands in the first
+  /// bucket whose bound is >= value, or the overflow bucket.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double value);
+
+  struct Data {
+    std::vector<double> upper_bounds;
+    std::vector<int64_t> counts;  // upper_bounds.size() + 1 (overflow last)
+    int64_t count = 0;
+    double sum = 0.0;
+    double max = 0.0;
+  };
+  Data Snapshot() const;
+
+ private:
+  const std::vector<double> upper_bounds_;
+  std::vector<std::atomic<int64_t>> counts_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Shared exponential bucket bounds (microseconds) for latency histograms.
+const std::vector<double>& LatencyBucketsUs();
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+struct MetricValue {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  int64_t counter = 0;
+  double gauge = 0.0;
+  Histogram::Data histogram;
+};
+
+/// Point-in-time (or delta, see DeltaSnapshot) copy of a registry.
+struct MetricsSnapshot {
+  std::vector<MetricValue> values;  // sorted by kind then name
+
+  bool empty() const { return values.empty(); }
+  /// First metric named `name`, or nullptr.
+  const MetricValue* Find(const std::string& name) const;
+  /// Convenience: counter value of `name` (0 when absent).
+  int64_t CounterValue(const std::string& name) const;
+  /// One JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {...}}. Self-contained, no external dependency.
+  std::string ToJson() const;
+};
+
+/// end - start for counters and histogram counts/sums (metrics absent from
+/// `start` pass through whole); gauges and histogram maxima report their
+/// `end` values. Zero-delta counters and empty histograms are dropped, so a
+/// run's snapshot only lists subsystems it actually touched.
+MetricsSnapshot DeltaSnapshot(const MetricsSnapshot& start,
+                              const MetricsSnapshot& end);
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-wide registry every built-in subsystem reports into.
+  static MetricsRegistry& Global();
+
+  /// Finds or creates; the returned pointer is stable for the registry's
+  /// lifetime (the Global() registry is never destroyed).
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `upper_bounds` only applies on first registration of `name`.
+  Histogram* GetHistogram(const std::string& name,
+                          const std::vector<double>& upper_bounds);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace fastft
+
+#endif  // FASTFT_COMMON_METRICS_H_

@@ -4,14 +4,38 @@
 #include <atomic>
 #include <exception>
 #include <memory>
+#include <string>
 
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace fastft {
 namespace common {
 namespace {
 
 thread_local bool tls_in_worker = false;
+
+// Queue-wait (enqueue -> dequeue) vs. run time of pool tasks: the scheduling
+// signal a flat per-bucket timer cannot show. Counting only; never alters
+// what a task computes.
+struct PoolMetrics {
+  obs::Counter* tasks;
+  obs::Histogram* queue_wait_us;
+  obs::Histogram* run_us;
+};
+
+const PoolMetrics& Metrics() {
+  static const PoolMetrics metrics = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    return PoolMetrics{
+        registry.GetCounter("pool.tasks"),
+        registry.GetHistogram("pool.queue_wait_us", obs::LatencyBucketsUs()),
+        registry.GetHistogram("pool.task_run_us", obs::LatencyBucketsUs()),
+    };
+  }();
+  return metrics;
+}
 
 }  // namespace
 
@@ -25,7 +49,7 @@ ThreadPool::ThreadPool(int num_workers) {
   num_workers = std::max(num_workers, 0);
   workers_.reserve(static_cast<size_t>(num_workers));
   for (int i = 0; i < num_workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -38,8 +62,11 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(int worker_index) {
   tls_in_worker = true;
+  // Explicit registration: spans recorded by this worker — and its log
+  // lines — carry a stable, named tid in trace exports.
+  obs::RegisterThisThread("pool-worker-" + std::to_string(worker_index));
   for (;;) {
     std::function<void()> task;
     {
@@ -56,10 +83,27 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ThreadPool::Enqueue(std::function<void()> task) {
+  // Tasks are per-executor (one per ParallelFor worker / Submit call), not
+  // per loop index, so the two clock reads per task are noise next to the
+  // work they bracket.
+  const uint64_t enqueue_ns = obs::internal::NowNs();
+  auto instrumented = [task = std::move(task), enqueue_ns] {
+    const PoolMetrics& metrics = Metrics();
+    const uint64_t start_ns = obs::internal::NowNs();
+    metrics.tasks->Increment();
+    metrics.queue_wait_us->Observe(
+        static_cast<double>(start_ns - enqueue_ns) / 1000.0);
+    {
+      FASTFT_TRACE_SPAN("pool/task");
+      task();
+    }
+    metrics.run_us->Observe(
+        static_cast<double>(obs::internal::NowNs() - start_ns) / 1000.0);
+  };
   {
     std::lock_guard<std::mutex> lock(mu_);
     FASTFT_CHECK(!stop_) << "task submitted to a stopped ThreadPool";
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(instrumented));
   }
   cv_.notify_one();
 }

@@ -72,7 +72,7 @@ class ThreadPool {
   static bool InWorker();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(int worker_index);
   void Enqueue(std::function<void()> task);
 
   std::mutex mu_;

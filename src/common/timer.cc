@@ -2,21 +2,49 @@
 
 namespace fastft {
 
+TimeBuckets::TimeBuckets(const TimeBuckets& other) {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  buckets_ = other.buckets_;
+}
+
+TimeBuckets& TimeBuckets::operator=(const TimeBuckets& other) {
+  if (this == &other) return *this;
+  std::map<std::string, double> copy;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    copy = other.buckets_;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  buckets_ = std::move(copy);
+  return *this;
+}
+
 void TimeBuckets::Add(const std::string& bucket, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
   buckets_[bucket] += seconds;
 }
 
 double TimeBuckets::Get(const std::string& bucket) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = buckets_.find(bucket);
   return it == buckets_.end() ? 0.0 : it->second;
 }
 
 double TimeBuckets::Total() const {
+  std::lock_guard<std::mutex> lock(mu_);
   double total = 0.0;
   for (const auto& [name, secs] : buckets_) total += secs;
   return total;
 }
 
-void TimeBuckets::Clear() { buckets_.clear(); }
+void TimeBuckets::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  buckets_.clear();
+}
+
+std::map<std::string, double> TimeBuckets::buckets() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buckets_;
+}
 
 }  // namespace fastft

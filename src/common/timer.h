@@ -5,6 +5,7 @@
 
 #include <chrono>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace fastft {
@@ -26,15 +27,29 @@ class WallTimer {
 
 /// Accumulates elapsed seconds into named buckets; used by the engine to
 /// report the Optimization / Estimation / Evaluation breakdown of Table II.
+///
+/// Thread-safe: Add may be called concurrently (e.g. from pool workers
+/// timing their share of a parallel evaluation) without losing updates.
+/// Note the Table II convention the engine follows: each bucket is timed
+/// once on the coordinating thread as wall-clock, so parallel fan-out
+/// *shrinks* a bucket rather than summing per-worker CPU time — worker code
+/// must not re-add time the coordinator already measures.
 class TimeBuckets {
  public:
+  TimeBuckets() = default;
+  // Copyable despite the mutex (EngineResult carries one by value); only
+  // the bucket map is copied.
+  TimeBuckets(const TimeBuckets& other);
+  TimeBuckets& operator=(const TimeBuckets& other);
+
   void Add(const std::string& bucket, double seconds);
   double Get(const std::string& bucket) const;
   double Total() const;
   void Clear();
-  const std::map<std::string, double>& buckets() const { return buckets_; }
+  std::map<std::string, double> buckets() const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, double> buckets_;
 };
 

@@ -8,9 +8,11 @@
 
 #include "common/fault.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/threadpool.h"
+#include "common/trace.h"
 #include "core/mutual_information.h"
 #include "core/state.h"
 
@@ -20,6 +22,59 @@ namespace {
 constexpr char kOpt[] = "optimization";
 constexpr char kEst[] = "estimation";
 constexpr char kEval[] = "evaluation";
+
+struct EngineMetrics {
+  obs::Counter* steps;
+  obs::Counter* episodes;
+  obs::Counter* downstream_evaluations;
+  obs::Counter* predictor_estimations;
+  obs::Counter* candidate_batches;
+};
+
+const EngineMetrics& Metrics() {
+  static const EngineMetrics metrics = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    return EngineMetrics{
+        registry.GetCounter("engine.steps"),
+        registry.GetCounter("engine.episodes"),
+        registry.GetCounter("engine.downstream_evaluations"),
+        registry.GetCounter("engine.predictor_estimations"),
+        registry.GetCounter("engine.candidate_batches"),
+    };
+  }();
+  return metrics;
+}
+
+// Arms tracing for the duration of one Run() and writes the Chrome-trace
+// export on every exit path (early Status returns included). Declared before
+// the "engine/run" span so the span closes — and lands in a ring — before
+// the rings are frozen and exported.
+class TraceSession {
+ public:
+  TraceSession(const std::string& path, int ring_capacity) : path_(path) {
+    if (path_.empty()) return;
+    obs::TraceOptions options;
+    options.ring_capacity = static_cast<size_t>(ring_capacity);
+    obs::StartTracing(options);
+    active_ = true;
+  }
+  ~TraceSession() {
+    if (!active_) return;
+    obs::StopTracing();
+    Status status = obs::WriteChromeTrace(path_);
+    if (!status.ok()) {
+      FASTFT_LOG(Warning) << "failed to write trace to '" << path_
+                          << "': " << status.ToString();
+    }
+  }
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+ private:
+  std::string path_;
+  bool active_ = false;
+};
 
 std::unique_ptr<CascadePolicy> MakePolicy(const EngineConfig& config) {
   switch (config.framework) {
@@ -147,6 +202,10 @@ Status ValidateEngineConfig(const EngineConfig& config) {
                    "got " +
                    std::to_string(config.prefix_cache_kb));
   }
+  if (!config.trace_path.empty() && config.trace_ring_capacity < 1) {
+    return invalid("trace_ring_capacity must be >= 1 when tracing, got " +
+                   std::to_string(config.trace_ring_capacity));
+  }
   return Status::OK();
 }
 
@@ -177,6 +236,14 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
         " (check inputs with Dataset::Validate() before Run)");
   }
   FASTFT_RETURN_NOT_OK(ValidateEngineConfig(config_));
+  TraceSession trace_session(config_.trace_path, config_.trace_ring_capacity);
+  FASTFT_TRACE_SPAN("engine/run");
+  // Metrics delta: counting is always on; the snapshot pair brackets this
+  // run so EngineResult::metrics reports only what the run itself did.
+  obs::MetricsSnapshot metrics_start;
+  if (config_.metrics) {
+    metrics_start = obs::MetricsRegistry::Global().Snapshot();
+  }
   EngineResult result;
   HealthReport& health = result.health;
   Rng rng(config_.seed);
@@ -203,6 +270,9 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
       [&](const std::vector<const Dataset*>& candidates) {
         std::vector<double> scores = evaluator.EvaluateBatch(candidates);
         result.downstream_evaluations += static_cast<int64_t>(scores.size());
+        Metrics().candidate_batches->Increment();
+        Metrics().downstream_evaluations->Increment(
+            static_cast<int64_t>(scores.size()));
         for (double& score : scores) {
           if (FASTFT_FAULT_POINT("evaluator/evaluate")) {
             score = kNaN;
@@ -239,8 +309,10 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
   // component failure the run cannot absorb — it surfaces as a Status.
   {
     ScopedTimer timer(&result.times, kEval);
+    FASTFT_TRACE_SPAN("engine/evaluate");
     double base = evaluator.Evaluate(dataset);
     ++result.downstream_evaluations;
+    Metrics().downstream_evaluations->Increment();
     if (FASTFT_FAULT_POINT("evaluator/base")) base = kNaN;
     if (!std::isfinite(base)) {
       return Status::Internal(
@@ -287,11 +359,15 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
 
   int global_step = 0;
   for (int episode = 0; episode < config_.episodes; ++episode) {
+    FASTFT_TRACE_SPAN("engine/episode");
+    Metrics().episodes->Increment();
     space.Reset();
     double prev_perf = result.base_score;
     const bool cold = episode < config_.cold_start_episodes;
 
     for (int step = 0; step < config_.steps_per_episode; ++step) {
+      FASTFT_TRACE_SPAN("engine/step");
+      Metrics().steps->Increment();
       // Anneal random exploration toward strategy-driven selection.
       policy->SetExplorationRate(
           config_.epsilon_end +
@@ -302,6 +378,7 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
       int added = 0;
       {
         ScopedTimer timer(&result.times, kOpt);
+        FASTFT_TRACE_SPAN("engine/select_action");
         std::vector<std::vector<int>> clusters =
             ClusterFeatures(space, config_.clustering);
         std::vector<double> overall = FeatureSetState(space);
@@ -359,10 +436,12 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
       bool have_prediction = false;
       if (components_ready) {
         ScopedTimer timer(&result.times, kEst);
+        FASTFT_TRACE_SPAN("engine/estimate");
         if (config_.use_performance_predictor &&
             !health.predictor.quarantined()) {
           predicted = predictor.Predict(t.tokens);
           ++result.predictor_estimations;
+          Metrics().predictor_estimations->Increment();
           if (FASTFT_FAULT_POINT("predictor/predict")) predicted = kNaN;
           if (!std::isfinite(predicted)) {
             health.RecordComponentFault(&health.predictor);
@@ -423,6 +502,7 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
         v = prev_perf;
       } else if (run_downstream) {
         ScopedTimer timer(&result.times, kEval);
+        FASTFT_TRACE_SPAN("engine/evaluate");
         Dataset candidate = space.ToDataset();
         double measured = evaluate_candidates({&candidate})[0];
         if (!std::isfinite(measured)) {
@@ -469,6 +549,7 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
       // --- Memory + optimization (Algorithm 2 lines 15-18). ---
       {
         ScopedTimer timer(&result.times, kOpt);
+        FASTFT_TRACE_SPAN("engine/optimize");
         double priority = policy->TdError(t);
         buffer.Add(std::move(t), priority);
         int index =
@@ -531,6 +612,7 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
     // --- Component training / finetuning (Algorithms 1 & 2). ---
     if (episode == config_.cold_start_episodes - 1) {
       ScopedTimer timer(&result.times, kOpt);
+      FASTFT_TRACE_SPAN("engine/coldstart_train");
       Rng train_rng(DeriveSeed(config_.seed, 31));
       if (config_.use_performance_predictor) {
         double mse = predictor.Fit(
@@ -562,6 +644,7 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
                    0 &&
                buffer.size() > 0) {
       ScopedTimer timer(&result.times, kOpt);
+      FASTFT_TRACE_SPAN("engine/finetune");
       std::vector<int> indices =
           buffer.UniformSampleIndices(config_.finetune_batch, &rng);
       std::vector<SequenceRecord> batch;
@@ -612,6 +695,10 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
   result.total_steps = global_step;
   result.estimation_cache = predictor.cache_stats();
   result.estimation_cache.Merge(novelty.cache_stats());
+  if (config_.metrics) {
+    result.metrics = obs::DeltaSnapshot(
+        metrics_start, obs::MetricsRegistry::Global().Snapshot());
+  }
   return result;
 }
 

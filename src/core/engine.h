@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "common/timer.h"
 #include "core/agents.h"
@@ -118,6 +119,19 @@ struct EngineConfig {
   /// Collect the Fig. 14 per-step novelty metrics (extra encoder passes).
   bool collect_novelty_metrics = false;
 
+  /// When non-empty, Run() records spans (engine steps, evaluator folds,
+  /// pool tasks, estimator batches, cache lookups, ...) and writes a
+  /// Chrome-trace JSON file here on exit — load it in Perfetto or
+  /// chrome://tracing. Tracing never changes scores: spans only read clocks.
+  std::string trace_path;
+  /// Per-thread span ring capacity while tracing (drop-oldest beyond this;
+  /// the export reports how many were dropped).
+  int trace_ring_capacity = 65536;
+  /// Capture a per-run metrics snapshot (counters/gauges/histograms delta
+  /// over the run) into EngineResult::metrics. Counting is always on
+  /// process-wide; this only gates the snapshot.
+  bool metrics = true;
+
   uint64_t seed = 2024;
 };
 
@@ -156,6 +170,9 @@ struct EngineResult {
   /// Faults observed, updates skipped, quarantines, and recoveries during
   /// the run (all zero on a healthy run).
   HealthReport health;
+  /// Delta of the process-wide metrics registry over this run (counters,
+  /// gauges, histograms) when EngineConfig::metrics is set; empty otherwise.
+  obs::MetricsSnapshot metrics;
 };
 
 /// Rejects configurations the engine cannot run (non-positive schedules,

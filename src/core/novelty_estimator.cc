@@ -5,8 +5,10 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/threadpool.h"
+#include "common/trace.h"
 
 namespace fastft {
 namespace {
@@ -40,12 +42,17 @@ NoveltyEstimator::NoveltyEstimator(const NoveltyConfig& config)
     : target_(TargetConfig(config)), estimator_(EstimatorConfig(config)) {}
 
 double NoveltyEstimator::Novelty(const std::vector<int>& tokens) const {
+  FASTFT_TRACE_SPAN("novelty/estimate");
   double diff = estimator_.Predict(tokens) - target_.Predict(tokens);
   return diff * diff;
 }
 
 std::vector<double> NoveltyEstimator::NoveltyBatch(
     const std::vector<std::vector<int>>& batch, int num_threads) const {
+  FASTFT_TRACE_SPAN("novelty/batch");
+  static obs::Counter* batches =
+      obs::MetricsRegistry::Global().GetCounter("novelty.batch_estimates");
+  batches->Increment();
   std::vector<double> raw(batch.size());
   common::ParallelFor(0, static_cast<int64_t>(batch.size()), num_threads,
                       [&](int64_t i) {
@@ -94,11 +101,15 @@ double NoveltyEstimator::Fit(const std::vector<std::vector<int>>& sequences,
   // The target is frozen, so its outputs are loop invariants of the
   // epoch × item distillation loop; compute them once, batched.
   std::vector<double> targets(sequences.size());
-  common::ParallelFor(0, static_cast<int64_t>(sequences.size()), num_threads,
-                      [&](int64_t i) {
-                        targets[static_cast<size_t>(i)] =
-                            target_.Predict(sequences[static_cast<size_t>(i)]);
-                      });
+  {
+    FASTFT_TRACE_SPAN("novelty/distill_targets");
+    common::ParallelFor(
+        0, static_cast<int64_t>(sequences.size()), num_threads,
+        [&](int64_t i) {
+          targets[static_cast<size_t>(i)] =
+              target_.Predict(sequences[static_cast<size_t>(i)]);
+        });
+  }
   double last = 0.0;
   std::vector<int> order(sequences.size());
   std::iota(order.begin(), order.end(), 0);

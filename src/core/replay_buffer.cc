@@ -4,14 +4,37 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/rng.h"
+#include "common/trace.h"
 
 namespace fastft {
 namespace {
 constexpr double kMinPriority = 1e-4;
+
+struct ReplayMetrics {
+  obs::Counter* adds;
+  obs::Counter* samples;
+  obs::Counter* priority_updates;
+};
+
+const ReplayMetrics& Metrics() {
+  static const ReplayMetrics metrics = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    return ReplayMetrics{
+        registry.GetCounter("replay.adds"),
+        registry.GetCounter("replay.samples"),
+        registry.GetCounter("replay.priority_updates"),
+    };
+  }();
+  return metrics;
+}
+
 }  // namespace
 
 void PrioritizedReplayBuffer::Add(Transition transition, double priority) {
+  FASTFT_TRACE_SPAN("replay/add");
+  Metrics().adds->Increment();
   double p = std::max(std::abs(priority), kMinPriority);
   if (!Full()) {
     items_.push_back(std::move(transition));
@@ -36,12 +59,16 @@ Transition& PrioritizedReplayBuffer::GetMutable(int index) {
 }
 
 int PrioritizedReplayBuffer::SampleIndex(Rng* rng, bool prioritized) const {
+  FASTFT_TRACE_SPAN("replay/sample");
+  Metrics().samples->Increment();
   FASTFT_CHECK_GT(size(), 0);
   if (!prioritized) return rng->UniformInt(size());
   return rng->SampleDiscrete(priorities_);
 }
 
 void PrioritizedReplayBuffer::UpdatePriority(int index, double priority) {
+  FASTFT_TRACE_SPAN("replay/update");
+  Metrics().priority_updates->Increment();
   FASTFT_CHECK_GE(index, 0);
   FASTFT_CHECK_LT(index, size());
   priorities_[index] = std::max(std::abs(priority), kMinPriority);
@@ -55,6 +82,8 @@ double PrioritizedReplayBuffer::Priority(int index) const {
 
 std::vector<int> PrioritizedReplayBuffer::UniformSampleIndices(
     int count, Rng* rng) const {
+  FASTFT_TRACE_SPAN("replay/sample");
+  Metrics().samples->Increment();
   count = std::min(count, size());
   return rng->SampleWithoutReplacement(size(), count);
 }

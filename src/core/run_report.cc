@@ -89,6 +89,11 @@ std::string RunReportJson(const Dataset& original,
 
   out << "  \"health\": " << result.health.ToJson() << ",\n";
 
+  // Additive: runs with EngineConfig::metrics off keep the legacy shape.
+  if (!result.metrics.empty()) {
+    out << "  \"metrics\": " << result.metrics.ToJson() << ",\n";
+  }
+
   out << "  \"times\": {";
   bool first = true;
   for (const auto& [bucket, seconds] : result.times.buckets()) {

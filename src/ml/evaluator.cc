@@ -4,8 +4,10 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/threadpool.h"
+#include "common/trace.h"
 #include "data/split.h"
 #include "ml/gradient_boosting.h"
 #include "ml/linear_models.h"
@@ -14,6 +16,27 @@
 #include "ml/random_forest.h"
 
 namespace fastft {
+namespace {
+
+struct EvalMetrics {
+  obs::Counter* evaluations;
+  obs::Counter* folds;
+  obs::Counter* folds_skipped;
+};
+
+const EvalMetrics& Metrics() {
+  static const EvalMetrics metrics = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    return EvalMetrics{
+        registry.GetCounter("evaluator.evaluations"),
+        registry.GetCounter("evaluator.folds"),
+        registry.GetCounter("evaluator.folds_skipped"),
+    };
+  }();
+  return metrics;
+}
+
+}  // namespace
 
 const char* ModelKindName(ModelKind kind) {
   switch (kind) {
@@ -100,8 +123,10 @@ double Evaluator::Evaluate(const Dataset& dataset) const {
 }
 
 double Evaluator::Evaluate(const Dataset& dataset, Metric metric) const {
+  FASTFT_TRACE_SPAN("evaluator/evaluate");
   FASTFT_CHECK(dataset.Validate().ok()) << dataset.Validate().ToString();
   evaluation_count_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().evaluations->Increment();
   std::vector<TrainTestIndices> folds =
       KFoldSplit(dataset, config_.folds, config_.seed);
   // Folds are independent: each derives its own model seed from (seed, k),
@@ -110,8 +135,13 @@ double Evaluator::Evaluate(const Dataset& dataset, Metric metric) const {
   std::vector<double> fold_score(folds.size(), 0.0);
   std::vector<char> fold_used(folds.size(), 0);
   auto score_fold = [&](int64_t k) {
+    FASTFT_TRACE_SPAN("evaluator/fold");
     TrainTestData data = MaterializeSplit(dataset, folds[k]);
-    if (data.train.NumRows() < 2 || data.test.NumRows() < 1) return;
+    if (data.train.NumRows() < 2 || data.test.NumRows() < 1) {
+      Metrics().folds_skipped->Increment();
+      return;
+    }
+    Metrics().folds->Increment();
     std::unique_ptr<Model> model =
         MakeModel(config_.model, dataset.task,
                   DeriveSeed(config_.seed, static_cast<uint64_t>(k) + 1),
@@ -144,6 +174,7 @@ double Evaluator::Evaluate(const Dataset& dataset, Metric metric) const {
 
 std::vector<double> Evaluator::EvaluateBatch(
     const std::vector<const Dataset*>& datasets) const {
+  FASTFT_TRACE_SPAN("evaluator/batch");
   std::vector<double> scores(datasets.size(), 0.0);
   // Candidate-level fan-out; each candidate's fold loop then runs inline on
   // its worker (nested ParallelFor degrades to serial), so one batch never

@@ -3,8 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
+#include <regex>
 #include <set>
+#include <string>
+#include <thread>
+#include <vector>
 
+#include "common/logging.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/status.h"
@@ -296,6 +302,69 @@ TEST(TimerTest, WallTimerAdvances) {
   volatile double sink = 0;
   for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GT(timer.Seconds(), 0.0);
+}
+
+// Regression: concurrent Add calls into the same bucket must lose no time
+// (the pre-locking map would drop or corrupt updates under ThreadSanitizer
+// and occasionally double-count via torn read-modify-writes).
+TEST(TimerTest, ConcurrentAddsLoseNothing) {
+  TimeBuckets buckets;
+  constexpr int kThreads = 4;
+  constexpr int kAddsPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&buckets] {
+      for (int i = 0; i < kAddsPerThread; ++i) {
+        buckets.Add("shared", 0.001);
+        buckets.Add("private", 0.002);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_NEAR(buckets.Get("shared"), kThreads * kAddsPerThread * 0.001, 1e-6);
+  EXPECT_NEAR(buckets.Get("private"), kThreads * kAddsPerThread * 0.002, 1e-6);
+  EXPECT_NEAR(buckets.Total(), kThreads * kAddsPerThread * 0.003, 1e-6);
+  // buckets() returns a consistent copy, not a reference into live state.
+  std::map<std::string, double> copy = buckets.buckets();
+  buckets.Clear();
+  EXPECT_EQ(copy.size(), 2u);
+  EXPECT_DOUBLE_EQ(buckets.Total(), 0.0);
+}
+
+TEST(LoggingTest, LineFormat) {
+  std::vector<std::string> lines;
+  internal::SetLogSinkForTest(&lines);
+  FASTFT_LOG(Warning) << "format probe";
+  internal::SetLogSinkForTest(nullptr);
+
+  ASSERT_EQ(lines.size(), 1u);
+  // [WARN +12.345ms T0 common_test.cc:NN] format probe
+  std::regex pattern(
+      R"(\[WARN \+\d+\.\d{3}ms T\d+ common_test\.cc:\d+\] format probe)");
+  EXPECT_TRUE(std::regex_search(lines[0], pattern)) << "line: " << lines[0];
+}
+
+TEST(LoggingTest, MonotonicTimestampsAdvance) {
+  std::vector<std::string> lines;
+  internal::SetLogSinkForTest(&lines);
+  FASTFT_LOG(Warning) << "first";
+  FASTFT_LOG(Warning) << "second";
+  internal::SetLogSinkForTest(nullptr);
+
+  ASSERT_EQ(lines.size(), 2u);
+  auto parse_ms = [](const std::string& line) {
+    size_t plus = line.find('+');
+    return std::stod(line.substr(plus + 1));
+  };
+  EXPECT_GE(parse_ms(lines[1]), parse_ms(lines[0]));
+}
+
+TEST(LoggingTest, BelowLevelNotEmitted) {
+  std::vector<std::string> lines;
+  internal::SetLogSinkForTest(&lines);
+  FASTFT_LOG(Debug) << "too quiet";  // default level is kWarning
+  internal::SetLogSinkForTest(nullptr);
+  EXPECT_TRUE(lines.empty());
 }
 
 }  // namespace

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -103,6 +105,59 @@ TEST(ParallelDeterminismTest, EngineRunIsBitIdenticalAcrossThreadCounts) {
   for (size_t i = 0; i < a.trace.size(); ++i) {
     EXPECT_EQ(a.trace[i].reward, b.trace[i].reward) << "step " << i;
     EXPECT_EQ(a.trace[i].performance, b.trace[i].performance) << "step " << i;
+  }
+}
+
+TEST(ParallelDeterminismTest, ObservabilityNeverChangesEngineOutputs) {
+  // The tracing/metrics layer only reads clocks and bumps counters, so a
+  // run with tracing + metrics on must be bit-identical to a run with both
+  // off — at any thread count. Wall-clock fields (times, span durations)
+  // are excluded by construction: the comparison covers scores and traces.
+  SyntheticSpec spec;
+  spec.samples = 120;
+  spec.features = 6;
+  spec.seed = 51;
+  Dataset ds = MakeClassification(spec);
+
+  EngineConfig base_cfg;
+  base_cfg.episodes = 4;
+  base_cfg.steps_per_episode = 4;
+  base_cfg.cold_start_episodes = 2;
+  base_cfg.evaluator.folds = 2;
+  base_cfg.evaluator.forest_trees = 6;
+  base_cfg.seed = 99;
+  base_cfg.metrics = false;
+  base_cfg.num_threads = 1;
+  EngineResult plain = FastFtEngine(base_cfg).Run(ds).ValueOrDie();
+
+  const std::string trace_path =
+      ::testing::TempDir() + "/fastft_determinism_trace.json";
+  for (int threads : {1, 4}) {
+    EngineConfig obs_cfg = base_cfg;
+    obs_cfg.num_threads = threads;
+    obs_cfg.metrics = true;
+    obs_cfg.trace_path = trace_path;
+    EngineResult observed = FastFtEngine(obs_cfg).Run(ds).ValueOrDie();
+
+    EXPECT_EQ(plain.base_score, observed.base_score) << threads;
+    EXPECT_EQ(plain.best_score, observed.best_score) << threads;
+    EXPECT_EQ(plain.downstream_evaluations, observed.downstream_evaluations)
+        << threads;
+    EXPECT_EQ(plain.total_steps, observed.total_steps) << threads;
+    ASSERT_EQ(plain.trace.size(), observed.trace.size()) << threads;
+    for (size_t i = 0; i < plain.trace.size(); ++i) {
+      EXPECT_EQ(plain.trace[i].reward, observed.trace[i].reward)
+          << threads << " step " << i;
+      EXPECT_EQ(plain.trace[i].performance, observed.trace[i].performance)
+          << threads << " step " << i;
+      EXPECT_EQ(plain.trace[i].novelty, observed.trace[i].novelty)
+          << threads << " step " << i;
+    }
+    // The snapshot delta is itself deterministic where it counts events.
+    EXPECT_EQ(observed.metrics.CounterValue("engine.steps"),
+              observed.total_steps)
+        << threads;
+    std::remove(trace_path.c_str());
   }
 }
 

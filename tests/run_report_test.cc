@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstdio>
 #include <limits>
 #include <fstream>
+#include <string>
 
 #include "core/run_report.h"
 #include "data/synthetic.h"
@@ -38,6 +40,19 @@ TEST(JsonEscapeTest, EscapesSpecials) {
   EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
   EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
   EXPECT_EQ(JsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(JsonEscapeTest, EdgeCases) {
+  EXPECT_EQ(JsonEscape(""), "");
+  EXPECT_EQ(JsonEscape("\t\r\n"), "\\t\\r\\n");
+  EXPECT_EQ(JsonEscape("\"\"\""), "\\\"\\\"\\\"");
+  // Multi-byte UTF-8 passes through unmangled: every byte of a multi-byte
+  // sequence is >= 0x80, so none hits the control-character escape.
+  const std::string utf8 = "caf\xC3\xA9 \xE6\xBC\xA2";  // "café 漢"
+  EXPECT_EQ(JsonEscape(utf8), utf8);
+  // Mixed: controls escaped, UTF-8 intact, in one pass.
+  EXPECT_EQ(JsonEscape(std::string("\x1F") + "\xC3\xA9"),
+            std::string("\\u001f") + "\xC3\xA9");
 }
 
 TEST(RunReportTest, ContainsCoreFields) {
@@ -110,6 +125,179 @@ TEST(RunReportTest, ContainsHealthSection) {
   EXPECT_NE(json.find("\"novelty_estimator\""), std::string::npos);
   // A clean run reports both components healthy.
   EXPECT_EQ(json.find("quarantined"), std::string::npos);
+}
+
+TEST(RunReportTest, ContainsMetricsSection) {
+  Dataset ds = SmallDataset();
+  EngineResult r = QuickRun(ds);
+  ASSERT_FALSE(r.metrics.empty());
+  std::string json = RunReportJson(ds, r);
+  EXPECT_NE(json.find("\"metrics\":"), std::string::npos);
+  EXPECT_NE(json.find("\"counters\":"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":"), std::string::npos);
+  // Engine counters in the delta agree with the legacy result fields.
+  EXPECT_EQ(r.metrics.CounterValue("engine.steps"), r.total_steps);
+  EXPECT_EQ(r.metrics.CounterValue("engine.downstream_evaluations"),
+            r.downstream_evaluations);
+  EXPECT_NE(json.find("\"engine.steps\": " + std::to_string(r.total_steps)),
+            std::string::npos);
+}
+
+TEST(RunReportTest, MetricsOffKeepsLegacyShape) {
+  Dataset ds = SmallDataset();
+  EngineConfig cfg;
+  cfg.episodes = 3;
+  cfg.steps_per_episode = 3;
+  cfg.cold_start_episodes = 1;
+  cfg.evaluator.folds = 2;
+  cfg.seed = 77;
+  cfg.metrics = false;
+  EngineResult r = FastFtEngine(cfg).Run(ds).ValueOrDie();
+  EXPECT_TRUE(r.metrics.empty());
+  std::string json = RunReportJson(ds, r);
+  EXPECT_EQ(json.find("\"metrics\":"), std::string::npos);
+}
+
+// Minimal recursive-descent JSON validator: enough grammar to prove the
+// report parses (objects, arrays, strings with escapes, numbers, literals).
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      default:
+        return Literal() || Number();
+    }
+  }
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek('}')) return true;
+    for (;;) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (!Expect(':')) return false;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek('}')) return true;
+      if (!Expect(',')) return false;
+    }
+  }
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek(']')) return true;
+    for (;;) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek(']')) return true;
+      if (!Expect(',')) return false;
+    }
+  }
+  bool String() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (static_cast<unsigned char>(text_[pos_]) < 0x20) return false;
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() || !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return Expect('"');
+  }
+  bool Number() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool Literal() {
+    for (const char* lit : {"true", "false", "null"}) {
+      size_t n = std::string(lit).size();
+      if (text_.compare(pos_, n, lit) == 0) {
+        pos_ += n;
+        return true;
+      }
+    }
+    return false;
+  }
+  bool Expect(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool Peek(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+            text_[pos_] == '\t' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+TEST(RunReportTest, ValidatorAcceptsAndRejects) {
+  EXPECT_TRUE(JsonValidator(R"({"a": [1, -2.5e3, "x\n", true, null]})")
+                  .Valid());
+  EXPECT_FALSE(JsonValidator(R"({"a": })").Valid());
+  EXPECT_FALSE(JsonValidator(R"({"a": 1)").Valid());
+  EXPECT_FALSE(JsonValidator("{\"a\": \"\x01\"}").Valid());
+  EXPECT_FALSE(JsonValidator(R"({"a": 1} trailing)").Valid());
+}
+
+TEST(RunReportTest, FullReportParses) {
+  Dataset ds = SmallDataset();
+  EngineResult r = QuickRun(ds);
+  std::string json = RunReportJson(ds, r);
+  EXPECT_TRUE(JsonValidator(json).Valid());
 }
 
 TEST(RunReportTest, FileWrite) {

@@ -1,0 +1,234 @@
+// Tests of the fastft::obs tracing layer: ring semantics, aggregation,
+// Chrome-trace export, pool-worker attribution, and the engine integration
+// (trace_path wiring + determinism cross-checks).
+
+#include "common/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/threadpool.h"
+#include "core/engine.h"
+#include "data/synthetic.h"
+
+namespace fastft {
+namespace {
+
+// Every test stops tracing on exit so a failing assertion cannot leave the
+// recorder armed for unrelated tests in this binary.
+class TraceTest : public ::testing::Test {
+ protected:
+  ~TraceTest() override { obs::StopTracing(); }
+};
+
+int64_t CountSpans(const obs::TraceSnapshot& snapshot, const char* name) {
+  int64_t count = 0;
+  for (const obs::ThreadTrace& thread : snapshot.threads) {
+    for (const obs::SpanEvent& event : thread.events) {
+      if (std::string(event.name) == name) ++count;
+    }
+  }
+  return count;
+}
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  ASSERT_FALSE(obs::TracingActive());
+  const int64_t before = obs::SnapshotTrace().TotalEvents();
+  { FASTFT_TRACE_SPAN("test/disabled"); }
+  obs::TraceSnapshot snapshot = obs::SnapshotTrace();
+  EXPECT_EQ(snapshot.TotalEvents(), before);
+  EXPECT_EQ(CountSpans(snapshot, "test/disabled"), 0);
+}
+
+TEST_F(TraceTest, RecordsSpansWhileActive) {
+  obs::StartTracing();
+  { FASTFT_TRACE_SPAN("test/alpha"); }
+  { FASTFT_TRACE_SPAN("test/alpha"); }
+  { FASTFT_TRACE_SPAN("test/beta"); }
+  obs::StopTracing();
+
+  obs::TraceSnapshot snapshot = obs::SnapshotTrace();
+  EXPECT_EQ(CountSpans(snapshot, "test/alpha"), 2);
+  EXPECT_EQ(CountSpans(snapshot, "test/beta"), 1);
+  // Frozen rings: nothing is recorded after StopTracing.
+  { FASTFT_TRACE_SPAN("test/after_stop"); }
+  EXPECT_EQ(CountSpans(obs::SnapshotTrace(), "test/after_stop"), 0);
+}
+
+TEST_F(TraceTest, StartClearsPreviousSession) {
+  obs::StartTracing();
+  { FASTFT_TRACE_SPAN("test/old"); }
+  obs::StartTracing();  // restart: old spans must vanish
+  { FASTFT_TRACE_SPAN("test/new"); }
+  obs::StopTracing();
+  obs::TraceSnapshot snapshot = obs::SnapshotTrace();
+  EXPECT_EQ(CountSpans(snapshot, "test/old"), 0);
+  EXPECT_EQ(CountSpans(snapshot, "test/new"), 1);
+}
+
+TEST_F(TraceTest, RingDropsOldestBeyondCapacity) {
+  obs::TraceOptions options;
+  options.ring_capacity = 4;
+  obs::StartTracing(options);
+  // Distinct names so retention order is observable.
+  static const char* names[10] = {"t/0", "t/1", "t/2", "t/3", "t/4",
+                                  "t/5", "t/6", "t/7", "t/8", "t/9"};
+  for (int i = 0; i < 10; ++i) {
+    obs::TraceSpan span(names[i]);
+  }
+  obs::StopTracing();
+
+  obs::TraceSnapshot snapshot = obs::SnapshotTrace();
+  const obs::ThreadTrace* mine = nullptr;
+  for (const obs::ThreadTrace& thread : snapshot.threads) {
+    if (!thread.events.empty()) mine = &thread;
+  }
+  ASSERT_NE(mine, nullptr);
+  ASSERT_EQ(mine->events.size(), 4u);
+  EXPECT_EQ(mine->dropped, 6);
+  // Oldest-first order, only the newest four survive.
+  EXPECT_STREQ(mine->events[0].name, "t/6");
+  EXPECT_STREQ(mine->events[3].name, "t/9");
+  for (size_t i = 1; i < mine->events.size(); ++i) {
+    EXPECT_GE(mine->events[i].start_ns, mine->events[i - 1].start_ns);
+  }
+}
+
+TEST_F(TraceTest, SummaryAggregatesAcrossSpans) {
+  obs::StartTracing();
+  for (int i = 0; i < 5; ++i) {
+    FASTFT_TRACE_SPAN("test/summary");
+  }
+  obs::StopTracing();
+
+  std::vector<obs::SpanStats> stats =
+      obs::SummarizeSpans(obs::SnapshotTrace());
+  const obs::SpanStats* found = nullptr;
+  for (const obs::SpanStats& s : stats) {
+    if (s.name == "test/summary") found = &s;
+  }
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->count, 5);
+  EXPECT_GE(found->max_ns, 0u);
+  EXPECT_GE(static_cast<double>(found->total_ns), found->MeanNs());
+  int64_t by_thread_total = 0;
+  for (const auto& [tid, count] : found->count_by_thread) {
+    by_thread_total += count;
+  }
+  EXPECT_EQ(by_thread_total, found->count);
+}
+
+TEST_F(TraceTest, ChromeJsonHasRequiredStructure) {
+  obs::StartTracing();
+  { FASTFT_TRACE_SPAN("test/json_span"); }
+  obs::StopTracing();
+
+  std::string json = obs::ChromeTraceJson(obs::SnapshotTrace());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("test/json_span"), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_NE(json.find("\"droppedSpans\""), std::string::npos);
+  EXPECT_NE(json.find("\"spanSummary\""), std::string::npos);
+}
+
+TEST_F(TraceTest, PoolWorkersAttributeSpansToNamedThreads) {
+  obs::StartTracing();
+  // A private pool guarantees real worker threads even on a single-core
+  // host (the shared pool would have zero workers there).
+  {
+    common::ThreadPool pool(2);
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 8; ++i) {
+      futures.push_back(pool.Submit([] {
+        volatile double sink = 0.0;
+        for (int k = 0; k < 1000; ++k) sink += static_cast<double>(k);
+      }));
+    }
+    for (std::future<void>& f : futures) f.get();
+  }
+  obs::StopTracing();
+
+  obs::TraceSnapshot snapshot = obs::SnapshotTrace();
+  // Every Submit goes through the instrumented queue: 8 pool/task spans,
+  // all recorded on threads registered as pool workers.
+  int64_t pool_spans = 0;
+  for (const obs::ThreadTrace& thread : snapshot.threads) {
+    for (const obs::SpanEvent& event : thread.events) {
+      if (std::string(event.name) != "pool/task") continue;
+      ++pool_spans;
+      EXPECT_EQ(thread.thread_name.rfind("pool-worker-", 0), 0u)
+          << "pool/task span on thread '" << thread.thread_name << "'";
+    }
+  }
+  EXPECT_EQ(pool_spans, 8);
+}
+
+TEST_F(TraceTest, EngineRunExportsTraceFile) {
+  const std::string path = ::testing::TempDir() + "/fastft_engine_trace.json";
+  std::remove(path.c_str());
+
+  SyntheticSpec spec;
+  spec.samples = 60;
+  spec.features = 5;
+  spec.seed = 5;
+  Dataset dataset = MakeClassification(spec);
+  EngineConfig config;
+  config.episodes = 4;
+  config.steps_per_episode = 4;
+  config.cold_start_episodes = 2;
+  config.seed = 17;
+  config.trace_path = path;
+  FastFtEngine engine(config);
+  Result<EngineResult> run = engine.Run(dataset);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const EngineResult& result = run.value();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "engine did not write " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // The full stack shows up: every instrumented subsystem a default
+  // single-threaded run exercises.
+  for (const char* subsystem :
+       {"engine/run", "engine/step", "evaluator/evaluate", "evaluator/fold",
+        "forest/fit_tree", "replay/add", "predictor/predict",
+        "novelty/estimate", "encode_cache/lookup"}) {
+    EXPECT_NE(json.find(subsystem), std::string::npos)
+        << "trace missing subsystem span " << subsystem;
+  }
+
+  // Determinism cross-check: span counts are exact functions of the run.
+  obs::TraceSnapshot snapshot = obs::SnapshotTrace();
+  EXPECT_EQ(CountSpans(snapshot, "engine/run"), 1);
+  EXPECT_EQ(CountSpans(snapshot, "engine/step"), result.total_steps);
+  EXPECT_EQ(CountSpans(snapshot, "engine/episode"), config.episodes);
+  EXPECT_EQ(snapshot.TotalDropped(), 0);
+
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, InvalidRingCapacityRejected) {
+  EngineConfig config;
+  config.trace_path = "unused.json";
+  config.trace_ring_capacity = 0;
+  EXPECT_FALSE(ValidateEngineConfig(config).ok());
+  config.trace_ring_capacity = 1;
+  EXPECT_TRUE(ValidateEngineConfig(config).ok());
+  // Capacity is irrelevant when tracing is off.
+  config.trace_path.clear();
+  config.trace_ring_capacity = 0;
+  EXPECT_TRUE(ValidateEngineConfig(config).ok());
+}
+
+}  // namespace
+}  // namespace fastft

@@ -15,7 +15,9 @@
 # tests with num_threads > 1) are the ones that put real concurrency under
 # TSan — and then re-runs the batched estimation-scoring tests by name
 # (estimation_path_test's BatchScoring / EngineEstimation suites), which
-# fan Predict/Novelty inference over the shared pool.
+# fan Predict/Novelty inference over the shared pool. It finishes with
+# tools/check_trace.sh against the sanitized CLI, so a full traced engine
+# run (span rings + metrics registry) executes under the race detector.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -37,6 +39,8 @@ for SAN in "${SANITIZERS[@]}"; do
     echo "=== thread leg: batched estimation-scoring tests ==="
     (cd "${BUILD_DIR}" && ctest --output-on-failure \
         -R 'BatchScoring|EngineEstimation')
+    echo "=== thread leg: traced CLI run (check_trace.sh) ==="
+    tools/check_trace.sh "${BUILD_DIR}/tools/fastft"
   fi
 done
 

@@ -21,9 +21,15 @@
 //
 //   --threads N parallelizes downstream evaluation (N = 0 uses every
 //   hardware thread); scores are bit-identical to a serial run.
+//
+//   transform and benchmark both accept --trace-out trace.json (Chrome
+//   trace-event export of the run — load in Perfetto or chrome://tracing)
+//   and --metrics-out metrics.json (the run's counter/histogram snapshot).
+//   Neither changes scores: observability only reads clocks and counts.
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <string>
 
@@ -69,11 +75,13 @@ int Usage() {
                "  fastft list\n"
                "  fastft transform --input data.csv --label <col> "
                "[--task C|R|D] [--episodes N] [--steps N] [--seed S] "
-               "[--threads N] [--output out.csv] [--program prog.txt]\n"
+               "[--threads N] [--output out.csv] [--program prog.txt] "
+               "[--trace-out trace.json] [--metrics-out metrics.json]\n"
                "  fastft apply --input new.csv --program prog.txt "
                "[--label <col>] [--output out.csv]\n"
                "  fastft benchmark --dataset \"<zoo name>\" [--episodes N] "
-               "[--seed S] [--threads N]\n");
+               "[--seed S] [--threads N] [--trace-out trace.json] "
+               "[--metrics-out metrics.json]\n");
   return 2;
 }
 
@@ -105,7 +113,25 @@ EngineConfig ConfigFromArgs(const Args& args) {
   config.seed = static_cast<uint64_t>(args.GetInt("seed", 7));
   // 0 = all hardware threads; results are bit-identical for any value.
   config.num_threads = std::max(0, args.GetInt("threads", 1));
+  config.trace_path = args.Get("trace-out");
+  config.trace_ring_capacity =
+      args.GetInt("trace-ring-capacity", config.trace_ring_capacity);
   return config;
+}
+
+// Writes the run's metrics snapshot when --metrics-out was given. Returns
+// false (after printing the error) only on an I/O failure.
+bool WriteMetricsIfRequested(const Args& args, const EngineResult& result) {
+  if (!args.Has("metrics-out")) return true;
+  const std::string path = args.Get("metrics-out");
+  std::ofstream out(path);
+  if (out) out << result.metrics.ToJson() << "\n";
+  if (!out || !out.good()) {
+    std::fprintf(stderr, "error: cannot write metrics to %s\n", path.c_str());
+    return false;
+  }
+  std::printf("wrote metrics snapshot to %s\n", path.c_str());
+  return true;
 }
 
 void PrintRunSummary(const Dataset& dataset, const EngineResult& result) {
@@ -152,6 +178,7 @@ int CmdTransform(const Args& args) {
   }
   EngineResult result = std::move(run).ValueOrDie();
   PrintRunSummary(dataset, result);
+  if (!WriteMetricsIfRequested(args, result)) return 1;
 
   if (args.Has("output")) {
     DataFrame frame = result.best_dataset.features;
@@ -269,6 +296,7 @@ int CmdBenchmark(const Args& args) {
   }
   EngineResult result = std::move(run).ValueOrDie();
   PrintRunSummary(dataset, result);
+  if (!WriteMetricsIfRequested(args, result)) return 1;
   std::printf("\ntop generated features:\n");
   int shown = 0;
   for (int c = dataset.NumFeatures();
