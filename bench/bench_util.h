@@ -4,8 +4,7 @@
 // tuned so the default run of the full harness finishes in minutes; set
 // FASTFT_BENCH_FULL=1 for larger sweeps.
 
-#ifndef FASTFT_BENCH_BENCH_UTIL_H_
-#define FASTFT_BENCH_BENCH_UTIL_H_
+#pragma once
 
 #include <algorithm>
 #include <cmath>
@@ -110,4 +109,3 @@ inline double OneSidedP(double t) { return 0.5 * std::erfc(t / std::sqrt(2.0)); 
 }  // namespace bench
 }  // namespace fastft
 
-#endif  // FASTFT_BENCH_BENCH_UTIL_H_

@@ -4,8 +4,7 @@
 // low-redundancy, high-relevance subset (greedy mRMR-style filter), and
 // evaluates the selected dataset; the best round wins.
 
-#ifndef FASTFT_BASELINES_AFT_H_
-#define FASTFT_BASELINES_AFT_H_
+#pragma once
 
 #include "baselines/baseline.h"
 
@@ -23,4 +22,3 @@ class AftBaseline : public Baseline {
 
 }  // namespace fastft
 
-#endif  // FASTFT_BASELINES_AFT_H_

@@ -4,8 +4,7 @@
 // plus bookkeeping (runtime, downstream-evaluation count) used by the
 // runtime experiments (Fig. 9/10).
 
-#ifndef FASTFT_BASELINES_BASELINE_H_
-#define FASTFT_BASELINES_BASELINE_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -56,4 +55,3 @@ std::unique_ptr<Baseline> MakeBaseline(const std::string& name,
 
 }  // namespace fastft
 
-#endif  // FASTFT_BASELINES_BASELINE_H_

@@ -10,8 +10,7 @@
 // uses CAAFE for accuracy-vs-runtime placement (Fig. 9/10) — exactly what
 // the latency + acceptance loop preserves (DESIGN.md §1).
 
-#ifndef FASTFT_BASELINES_CAAFE_SIM_H_
-#define FASTFT_BASELINES_CAAFE_SIM_H_
+#pragma once
 
 #include "baselines/baseline.h"
 
@@ -29,4 +28,3 @@ class CaafeSimBaseline : public Baseline {
 
 }  // namespace fastft
 
-#endif  // FASTFT_BASELINES_CAAFE_SIM_H_

@@ -6,8 +6,7 @@
 // surrogate, and spend the scarce downstream evaluations only on the
 // surrogate's top picks.
 
-#ifndef FASTFT_BASELINES_DIFER_H_
-#define FASTFT_BASELINES_DIFER_H_
+#pragma once
 
 #include "baselines/baseline.h"
 
@@ -25,4 +24,3 @@ class DiferBaseline : public Baseline {
 
 }  // namespace fastft
 
-#endif  // FASTFT_BASELINES_DIFER_H_

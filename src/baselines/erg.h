@@ -4,8 +4,7 @@
 // to a sampled set of feature pairs (one big expansion), then reduces with
 // MI-based top-k selection and evaluates the reduced dataset.
 
-#ifndef FASTFT_BASELINES_ERG_H_
-#define FASTFT_BASELINES_ERG_H_
+#pragma once
 
 #include "baselines/baseline.h"
 
@@ -23,4 +22,3 @@ class ErgBaseline : public Baseline {
 
 }  // namespace fastft
 
-#endif  // FASTFT_BASELINES_ERG_H_

@@ -5,8 +5,7 @@
 // downstream task, there is no novelty reward, and replay is uniform. This
 // wrapper configures the FastFT engine accordingly.
 
-#ifndef FASTFT_BASELINES_GRFG_H_
-#define FASTFT_BASELINES_GRFG_H_
+#pragma once
 
 #include "baselines/baseline.h"
 
@@ -24,4 +23,3 @@ class GrfgBaseline : public Baseline {
 
 }  // namespace fastft
 
-#endif  // FASTFT_BASELINES_GRFG_H_

@@ -8,8 +8,7 @@
 // (e.g. Fisher LDA fit on all rows) would leak labels into the
 // cross-validated evaluation, so it is deliberately avoided (DESIGN.md §4).
 
-#ifndef FASTFT_BASELINES_LDA_H_
-#define FASTFT_BASELINES_LDA_H_
+#pragma once
 
 #include "baselines/baseline.h"
 
@@ -27,4 +26,3 @@ class LdaBaseline : public Baseline {
 
 }  // namespace fastft
 
-#endif  // FASTFT_BASELINES_LDA_H_

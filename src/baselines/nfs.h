@@ -6,8 +6,7 @@
 // a running-mean baseline. Binary operations pair the feature with a
 // controller-sampled partner.
 
-#ifndef FASTFT_BASELINES_NFS_H_
-#define FASTFT_BASELINES_NFS_H_
+#pragma once
 
 #include "baselines/baseline.h"
 
@@ -25,4 +24,3 @@ class NfsBaseline : public Baseline {
 
 }  // namespace fastft
 
-#endif  // FASTFT_BASELINES_NFS_H_

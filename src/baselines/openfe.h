@@ -5,8 +5,7 @@
 // cheap data block (stage 1), then promotes the top slice and greedily
 // accepts candidates that improve the cross-validated score (stage 2).
 
-#ifndef FASTFT_BASELINES_OPENFE_H_
-#define FASTFT_BASELINES_OPENFE_H_
+#pragma once
 
 #include "baselines/baseline.h"
 
@@ -24,4 +23,3 @@ class OpenFeBaseline : public Baseline {
 
 }  // namespace fastft
 
-#endif  // FASTFT_BASELINES_OPENFE_H_

@@ -4,8 +4,7 @@
 // candidate feature(s), evaluates the resulting dataset downstream, and
 // keeps the best dataset seen.
 
-#ifndef FASTFT_BASELINES_RFG_H_
-#define FASTFT_BASELINES_RFG_H_
+#pragma once
 
 #include "baselines/baseline.h"
 
@@ -23,4 +22,3 @@ class RfgBaseline : public Baseline {
 
 }  // namespace fastft
 
-#endif  // FASTFT_BASELINES_RFG_H_

@@ -5,8 +5,7 @@
 // Q-function over (node, operation) is learned ε-greedily; each expansion
 // evaluates the child dataset downstream, and the best node wins.
 
-#ifndef FASTFT_BASELINES_TTG_H_
-#define FASTFT_BASELINES_TTG_H_
+#pragma once
 
 #include "baselines/baseline.h"
 
@@ -24,4 +23,3 @@ class TtgBaseline : public Baseline {
 
 }  // namespace fastft
 
-#endif  // FASTFT_BASELINES_TTG_H_

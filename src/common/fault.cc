@@ -1,12 +1,21 @@
 #include "common/fault.h"
 
-#include <mutex>
-
 #include "common/metrics.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 
 namespace fastft {
 namespace {
+
+using common::Mutex;
+using common::MutexLock;
+
+// Guards the injector's site table. Leaked alongside the state below so
+// fault points reached during static destruction stay safe to query.
+Mutex& FaultMutex() {
+  static Mutex* mu = new Mutex();
+  return *mu;
+}
 
 struct SiteState {
   double probability = 0.0;
@@ -14,9 +23,8 @@ struct SiteState {
 };
 
 struct InjectorState {
-  std::mutex mutex;
-  uint64_t seed = 0;
-  std::map<std::string, SiteState> sites;
+  uint64_t seed FASTFT_GUARDED_BY(FaultMutex()) = 0;
+  std::map<std::string, SiteState> sites FASTFT_GUARDED_BY(FaultMutex());
 };
 
 InjectorState& State() {
@@ -42,7 +50,7 @@ std::atomic<bool> FaultInjector::armed_{false};
 void FaultInjector::Arm(uint64_t seed,
                         std::map<std::string, double> site_probability) {
   InjectorState& state = State();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(&FaultMutex());
   state.seed = seed;
   state.sites.clear();
   for (auto& [site, p] : site_probability) {
@@ -55,14 +63,14 @@ void FaultInjector::Arm(uint64_t seed,
 
 void FaultInjector::Disarm() {
   InjectorState& state = State();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(&FaultMutex());
   armed_.store(false, std::memory_order_relaxed);
   state.sites.clear();
 }
 
 bool FaultInjector::ShouldFail(const char* site) {
   InjectorState& state = State();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(&FaultMutex());
   // Unlisted sites never fire, but their hits are still counted: Stats()
   // then shows every fault point reached while armed, which is how a test
   // discovers the site names a code path exposes.
@@ -85,7 +93,7 @@ bool FaultInjector::ShouldFail(const char* site) {
 
 std::map<std::string, FaultSiteStats> FaultInjector::Stats() {
   InjectorState& state = State();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(&FaultMutex());
   std::map<std::string, FaultSiteStats> out;
   for (const auto& [site, s] : state.sites) out.emplace(site, s.stats);
   return out;

@@ -17,8 +17,7 @@
 // "predictor/finetune", "novelty/estimate", "evaluator/evaluate",
 // "csv/read", "report/write". Sites are matched by exact string.
 
-#ifndef FASTFT_COMMON_FAULT_H_
-#define FASTFT_COMMON_FAULT_H_
+#pragma once
 
 #include <atomic>
 #include <cstdint>
@@ -79,4 +78,3 @@ class ScopedFaultInjection {
 #define FASTFT_FAULT_POINT(site) \
   (::fastft::FaultInjector::armed() && ::fastft::FaultInjector::ShouldFail(site))
 
-#endif  // FASTFT_COMMON_FAULT_H_

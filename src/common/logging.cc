@@ -4,8 +4,8 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 
+#include "common/thread_annotations.h"
 #include "common/trace.h"
 
 namespace fastft {
@@ -13,8 +13,9 @@ namespace {
 
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
 
-std::mutex g_sink_mu;
-std::vector<std::string>* g_sink = nullptr;  // test hook; nullptr = stderr
+common::Mutex g_sink_mu;
+// test hook; nullptr = stderr
+std::vector<std::string>* g_sink FASTFT_GUARDED_BY(g_sink_mu) = nullptr;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -31,11 +32,13 @@ const char* LevelName(LogLevel level) {
 }
 
 /// Milliseconds since the first logging call (≈ process start: the origin
-/// is a function-local static, captured once, thread-safe).
+/// is a function-local static, captured once, thread-safe). Log timestamps
+/// never feed computation, so the clock reads are exempt from the
+/// determinism lint.
 double MonotonicMs() {
   using Clock = std::chrono::steady_clock;
-  static const Clock::time_point origin = Clock::now();
-  return std::chrono::duration<double, std::milli>(Clock::now() - origin)
+  static const Clock::time_point origin = Clock::now();  // fastft-lint: allow(nondeterminism)
+  return std::chrono::duration<double, std::milli>(Clock::now() - origin)  // fastft-lint: allow(nondeterminism)
       .count();
 }
 
@@ -52,7 +55,7 @@ LogLevel GetLogLevel() {
 namespace internal {
 
 void SetLogSinkForTest(std::vector<std::string>* sink) {
-  std::lock_guard<std::mutex> lock(g_sink_mu);
+  common::MutexLock lock(&g_sink_mu);
   g_sink = sink;
 }
 
@@ -76,7 +79,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
 LogMessage::~LogMessage() {
   if (enabled_) {
     {
-      std::lock_guard<std::mutex> lock(g_sink_mu);
+      common::MutexLock lock(&g_sink_mu);
       if (g_sink != nullptr) {
         g_sink->push_back(stream_.str());
         if (!fatal_) return;

@@ -11,8 +11,7 @@
 // same id that attributes trace spans, so log lines and trace events from
 // one pool worker correlate.
 
-#ifndef FASTFT_COMMON_LOGGING_H_
-#define FASTFT_COMMON_LOGGING_H_
+#pragma once
 
 #include <sstream>
 #include <string>
@@ -75,4 +74,3 @@ class LogMessage {
 #define FASTFT_CHECK_GT(a, b) FASTFT_CHECK((a) > (b))
 #define FASTFT_CHECK_GE(a, b) FASTFT_CHECK((a) >= (b))
 
-#endif  // FASTFT_COMMON_LOGGING_H_

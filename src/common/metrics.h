@@ -16,16 +16,16 @@
 // Metric naming scheme: "<subsystem>.<metric>[_<unit>]", e.g.
 // "engine.steps", "pool.queue_wait_us", "encode_cache.hits".
 
-#ifndef FASTFT_COMMON_METRICS_H_
-#define FASTFT_COMMON_METRICS_H_
+#pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace fastft {
 namespace obs {
@@ -133,13 +133,13 @@ class MetricsRegistry {
   MetricsSnapshot Snapshot() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable common::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      FASTFT_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ FASTFT_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      FASTFT_GUARDED_BY(mu_);
 };
 
 }  // namespace obs
 }  // namespace fastft
-
-#endif  // FASTFT_COMMON_METRICS_H_

@@ -4,8 +4,7 @@
 // SplitMix64 derives independent stream seeds from a root seed so that
 // adding a consumer never perturbs the draws of existing consumers.
 
-#ifndef FASTFT_COMMON_RNG_H_
-#define FASTFT_COMMON_RNG_H_
+#pragma once
 
 #include <cstdint>
 #include <random>
@@ -65,4 +64,3 @@ class Rng {
 
 }  // namespace fastft
 
-#endif  // FASTFT_COMMON_RNG_H_

@@ -3,8 +3,7 @@
 // The state representation (core/state.h) and the dataset sanitizer both
 // rely on these summaries; they tolerate empty input and return zeros.
 
-#ifndef FASTFT_COMMON_STATS_H_
-#define FASTFT_COMMON_STATS_H_
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -48,4 +47,3 @@ double CosineSimilarity(const std::vector<double>& a,
 
 }  // namespace fastft
 
-#endif  // FASTFT_COMMON_STATS_H_

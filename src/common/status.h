@@ -5,8 +5,7 @@
 // `Status`, or a `Result<T>` when they also produce a value. Internal
 // invariants are enforced with FASTFT_CHECK (see logging.h).
 
-#ifndef FASTFT_COMMON_STATUS_H_
-#define FASTFT_COMMON_STATUS_H_
+#pragma once
 
 #include <string>
 #include <utility>
@@ -151,4 +150,3 @@ class Result {
   FASTFT_ASSIGN_OR_RETURN_IMPL_(                                          \
       FASTFT_STATUS_CONCAT_(_fastft_result_or_, __LINE__), lhs, expr)
 
-#endif  // FASTFT_COMMON_STATUS_H_

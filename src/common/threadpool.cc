@@ -55,10 +55,10 @@ ThreadPool::ThreadPool(int num_workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -70,8 +70,8 @@ void ThreadPool::WorkerLoop(int worker_index) {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stop_ && queue_.empty()) cv_.Wait(&lock);
       // Drain the queue even when stopping so every submitted future
       // completes before the destructor joins.
       if (queue_.empty()) return;
@@ -101,11 +101,11 @@ void ThreadPool::Enqueue(std::function<void()> task) {
         static_cast<double>(obs::internal::NowNs() - start_ns) / 1000.0);
   };
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     FASTFT_CHECK(!stop_) << "task submitted to a stopped ThreadPool";
     queue_.push_back(std::move(instrumented));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 std::future<void> ThreadPool::Submit(std::function<void()> task) {
@@ -136,10 +136,10 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int max_parallelism,
     int64_t end = 0;
     const std::function<void(int64_t)>* fn = nullptr;
     std::atomic<bool> abort{false};
-    std::mutex mu;
-    std::condition_variable done;
-    int active_runners = 0;
-    std::exception_ptr error;
+    Mutex mu;
+    CondVar done;
+    int active_runners FASTFT_GUARDED_BY(mu) = 0;
+    std::exception_ptr error FASTFT_GUARDED_BY(mu);
   };
   auto state = std::make_shared<LoopState>();
   state->next.store(begin, std::memory_order_relaxed);
@@ -155,7 +155,7 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int max_parallelism,
         (*s->fn)(i);
       } catch (...) {
         {
-          std::lock_guard<std::mutex> lock(s->mu);
+          MutexLock lock(&s->mu);
           if (!s->error) s->error = std::current_exception();
         }
         s->abort.store(true, std::memory_order_relaxed);
@@ -166,14 +166,14 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int max_parallelism,
   for (int64_t w = 1; w < executors; ++w) {
     Enqueue([state, run] {
       run(state);
-      std::lock_guard<std::mutex> lock(state->mu);
-      if (--state->active_runners == 0) state->done.notify_all();
+      MutexLock lock(&state->mu);
+      if (--state->active_runners == 0) state->done.NotifyAll();
     });
   }
   run(state);  // The caller participates: progress even under a full queue.
 
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->done.wait(lock, [&state] { return state->active_runners == 0; });
+  MutexLock lock(&state->mu);
+  while (state->active_runners != 0) state->done.Wait(&lock);
   if (state->error) std::rethrow_exception(state->error);
 }
 

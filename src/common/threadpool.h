@@ -19,17 +19,16 @@
 //     calling thread after the loop quiesces; remaining indices may be
 //     skipped.
 
-#ifndef FASTFT_COMMON_THREADPOOL_H_
-#define FASTFT_COMMON_THREADPOOL_H_
+#pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace fastft {
 namespace common {
@@ -75,11 +74,11 @@ class ThreadPool {
   void WorkerLoop(int worker_index);
   void Enqueue(std::function<void()> task);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
-  std::vector<std::thread> workers_;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ FASTFT_GUARDED_BY(mu_);
+  bool stop_ FASTFT_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;  // written only in the constructor
 };
 
 /// Convenience fork-join over the shared pool: runs fn(i) for i in
@@ -91,5 +90,3 @@ void ParallelFor(int64_t begin, int64_t end, int threads,
 
 }  // namespace common
 }  // namespace fastft
-
-#endif  // FASTFT_COMMON_THREADPOOL_H_

@@ -2,8 +2,10 @@
 
 namespace fastft {
 
+using common::MutexLock;
+
 TimeBuckets::TimeBuckets(const TimeBuckets& other) {
-  std::lock_guard<std::mutex> lock(other.mu_);
+  MutexLock lock(&other.mu_);
   buckets_ = other.buckets_;
 }
 
@@ -11,39 +13,39 @@ TimeBuckets& TimeBuckets::operator=(const TimeBuckets& other) {
   if (this == &other) return *this;
   std::map<std::string, double> copy;
   {
-    std::lock_guard<std::mutex> lock(other.mu_);
+    MutexLock lock(&other.mu_);
     copy = other.buckets_;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   buckets_ = std::move(copy);
   return *this;
 }
 
 void TimeBuckets::Add(const std::string& bucket, double seconds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   buckets_[bucket] += seconds;
 }
 
 double TimeBuckets::Get(const std::string& bucket) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = buckets_.find(bucket);
   return it == buckets_.end() ? 0.0 : it->second;
 }
 
 double TimeBuckets::Total() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   double total = 0.0;
   for (const auto& [name, secs] : buckets_) total += secs;
   return total;
 }
 
 void TimeBuckets::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   buckets_.clear();
 }
 
 std::map<std::string, double> TimeBuckets::buckets() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return buckets_;
 }
 

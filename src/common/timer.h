@@ -1,12 +1,12 @@
 // Wall-clock timing utilities for the runtime experiments (Tables II, Fig. 9/10).
 
-#ifndef FASTFT_COMMON_TIMER_H_
-#define FASTFT_COMMON_TIMER_H_
+#pragma once
 
 #include <chrono>
 #include <map>
-#include <mutex>
 #include <string>
+
+#include "common/thread_annotations.h"
 
 namespace fastft {
 
@@ -14,10 +14,13 @@ namespace fastft {
 class WallTimer {
  public:
   WallTimer() { Restart(); }
-  void Restart() { start_ = Clock::now(); }
+  // Measuring wall time is this class's purpose; every other call site must
+  // go through WallTimer/ScopedTimer so the lint can keep clock reads out
+  // of scoring paths.
+  void Restart() { start_ = Clock::now(); }  // fastft-lint: allow(nondeterminism)
   /// Seconds elapsed since construction / last Restart().
   double Seconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return std::chrono::duration<double>(Clock::now() - start_).count();  // fastft-lint: allow(nondeterminism)
   }
 
  private:
@@ -49,8 +52,8 @@ class TimeBuckets {
   std::map<std::string, double> buckets() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, double> buckets_;
+  mutable common::Mutex mu_;
+  std::map<std::string, double> buckets_ FASTFT_GUARDED_BY(mu_);
 };
 
 /// RAII guard that adds its lifetime to one bucket.
@@ -71,5 +74,3 @@ class ScopedTimer {
 };
 
 }  // namespace fastft
-
-#endif  // FASTFT_COMMON_TIMER_H_

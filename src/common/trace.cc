@@ -6,13 +6,27 @@
 #include <cstdio>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <unordered_map>
+
+#include "common/thread_annotations.h"
 
 namespace fastft {
 namespace obs {
 namespace {
+
+using common::Mutex;
+using common::MutexLock;
+
+// Guards the buffer registry (the vector plus each buffer's name and the
+// session ring capacity). Leaked on purpose, like the recorder below: pool
+// workers may still register or record during static destruction. Lock
+// order: RegistryMutex() may be held while taking a ThreadBuffer::mu, never
+// the other way around.
+Mutex& RegistryMutex() {
+  static Mutex* mu = new Mutex();
+  return *mu;
+}
 
 struct Slot {
   const char* name = nullptr;
@@ -28,21 +42,25 @@ struct ThreadBuffer {
       : tid(tid_in), thread_name(std::move(name_in)) {}
 
   const int tid;
-  std::string thread_name;
-  bool named = false;  // explicit name vs. the "thread-<id>" fallback
+  std::string thread_name FASTFT_GUARDED_BY(RegistryMutex());
+  // explicit name vs. the "thread-<id>" fallback
+  bool named FASTFT_GUARDED_BY(RegistryMutex()) = false;
 
-  std::mutex mu;
-  std::vector<Slot> slots;   // sized on StartTracing (or creation while on)
-  uint64_t count = 0;        // spans ever recorded this session
+  Mutex mu;
+  // sized on StartTracing (or creation while on)
+  std::vector<Slot> slots FASTFT_GUARDED_BY(mu);
+  // spans ever recorded this session
+  uint64_t count FASTFT_GUARDED_BY(mu) = 0;
 };
 
 struct Recorder {
-  std::mutex registry_mu;
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers
+      FASTFT_GUARDED_BY(RegistryMutex());
 
   std::atomic<bool> enabled{false};
   std::atomic<uint64_t> origin_ns{0};
-  size_t ring_capacity = TraceOptions{}.ring_capacity;
+  size_t ring_capacity FASTFT_GUARDED_BY(RegistryMutex()) =
+      TraceOptions{}.ring_capacity;
 };
 
 // Leaked on purpose: pool workers (and their thread-local pointers below)
@@ -52,13 +70,14 @@ Recorder& GlobalRecorder() {
   return *recorder;
 }
 
-ThreadBuffer* CreateBufferLocked(Recorder& rec) {
+ThreadBuffer* CreateBufferLocked(Recorder& rec)
+    FASTFT_REQUIRES(RegistryMutex()) {
   const int tid = static_cast<int>(rec.buffers.size());
   rec.buffers.push_back(std::make_unique<ThreadBuffer>(
       tid, "thread-" + std::to_string(tid)));
   ThreadBuffer* buffer = rec.buffers.back().get();
   if (rec.enabled.load(std::memory_order_relaxed)) {
-    std::lock_guard<std::mutex> lock(buffer->mu);
+    MutexLock lock(&buffer->mu);
     buffer->slots.resize(rec.ring_capacity);
   }
   return buffer;
@@ -68,7 +87,7 @@ ThreadBuffer* ThisThreadBuffer() {
   thread_local ThreadBuffer* tls_buffer = nullptr;
   if (tls_buffer == nullptr) {
     Recorder& rec = GlobalRecorder();
-    std::lock_guard<std::mutex> lock(rec.registry_mu);
+    MutexLock lock(&RegistryMutex());
     tls_buffer = CreateBufferLocked(rec);
   }
   return tls_buffer;
@@ -99,13 +118,13 @@ int64_t TraceSnapshot::TotalDropped() const {
 void StartTracing(const TraceOptions& options) {
   Recorder& rec = GlobalRecorder();
   RegisterThisThread("main");
-  std::lock_guard<std::mutex> lock(rec.registry_mu);
+  MutexLock lock(&RegistryMutex());
   // Disable first so concurrent recorders quiesce against the per-buffer
   // locks taken below rather than appending into half-cleared rings.
   rec.enabled.store(false, std::memory_order_relaxed);
   rec.ring_capacity = std::max<size_t>(options.ring_capacity, 1);
   for (auto& buffer : rec.buffers) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    MutexLock buffer_lock(&buffer->mu);
     buffer->slots.assign(rec.ring_capacity, Slot{});
     buffer->count = 0;
   }
@@ -123,8 +142,7 @@ bool TracingActive() {
 
 int RegisterThisThread(const std::string& name) {
   ThreadBuffer* buffer = ThisThreadBuffer();
-  Recorder& rec = GlobalRecorder();
-  std::lock_guard<std::mutex> lock(rec.registry_mu);
+  MutexLock lock(&RegistryMutex());
   if (!buffer->named) {
     buffer->thread_name = name;
     buffer->named = true;
@@ -137,10 +155,10 @@ int CurrentThreadId() { return ThisThreadBuffer()->tid; }
 TraceSnapshot SnapshotTrace() {
   Recorder& rec = GlobalRecorder();
   TraceSnapshot snapshot;
-  std::lock_guard<std::mutex> lock(rec.registry_mu);
+  MutexLock lock(&RegistryMutex());
   snapshot.threads.reserve(rec.buffers.size());
   for (auto& buffer : rec.buffers) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    MutexLock buffer_lock(&buffer->mu);
     ThreadTrace trace;
     trace.tid = buffer->tid;
     trace.thread_name = buffer->thread_name;
@@ -271,7 +289,7 @@ void RecordSpan(const char* name, uint64_t start_ns, uint64_t end_ns) {
   // A span opened before StartTracing rebases to the session origin.
   slot.start_ns = start_ns > origin ? start_ns - origin : 0;
   slot.duration_ns = end_ns > start_ns ? end_ns - start_ns : 0;
-  std::lock_guard<std::mutex> lock(buffer->mu);
+  MutexLock lock(&buffer->mu);
   if (buffer->slots.empty()) return;  // ring sized only while tracing is on
   buffer->slots[buffer->count % buffer->slots.size()] = slot;
   ++buffer->count;

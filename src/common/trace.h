@@ -27,8 +27,7 @@
 // Span naming scheme mirrors fault sites: "<subsystem>/<operation>", e.g.
 // "engine/step", "evaluator/fold", "pool/task", "encode_cache/lookup".
 
-#ifndef FASTFT_COMMON_TRACE_H_
-#define FASTFT_COMMON_TRACE_H_
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -172,4 +171,3 @@ class TraceSpan {
   ::fastft::obs::TraceSpan FASTFT_TRACE_CONCAT(fastft_trace_span_,    \
                                                __COUNTER__)(name)
 
-#endif  // FASTFT_COMMON_TRACE_H_

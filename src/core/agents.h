@@ -7,8 +7,7 @@
 // advantage actor-critic (Eq. 9) trained from prioritized replay samples;
 // q_agents.h provides the DQN-family alternatives of Fig. 7.
 
-#ifndef FASTFT_CORE_AGENTS_H_
-#define FASTFT_CORE_AGENTS_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -103,4 +102,3 @@ std::vector<double> SoftmaxScores(const nn::Matrix& scores,
 
 }  // namespace fastft
 
-#endif  // FASTFT_CORE_AGENTS_H_

@@ -6,8 +6,7 @@
 // of clusters is reached). Small distance = similar label relevance and high
 // mutual redundancy → same cluster.
 
-#ifndef FASTFT_CORE_CLUSTERING_H_
-#define FASTFT_CORE_CLUSTERING_H_
+#pragma once
 
 #include <vector>
 
@@ -51,4 +50,3 @@ std::vector<std::vector<int>> ClusterFeatures(
 
 }  // namespace fastft
 
-#endif  // FASTFT_CORE_CLUSTERING_H_

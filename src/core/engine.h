@@ -20,8 +20,7 @@
 //   framework=kDqn...               → Fig. 7
 //   backbone=kRnn/kTransformer      → FASTFT^R / FASTFT^T (Fig. 8)
 
-#ifndef FASTFT_CORE_ENGINE_H_
-#define FASTFT_CORE_ENGINE_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -201,4 +200,3 @@ class FastFtEngine {
 
 }  // namespace fastft
 
-#endif  // FASTFT_CORE_ENGINE_H_

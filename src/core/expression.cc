@@ -41,18 +41,30 @@ bool IsLeaf(const ExprPtr& expr) { return expr->op < 0; }
 std::string ExprToString(const ExprPtr& expr,
                          const std::vector<std::string>& names) {
   FASTFT_CHECK(expr != nullptr);
+  // Left-hand std::string builds: `"(" + <std::string&&>` trips GCC 12's
+  // -Wrestrict false positive (PR105651) under -Werror.
   if (IsLeaf(expr)) {
     if (expr->feature < static_cast<int>(names.size())) {
       return names[expr->feature];
     }
-    return "f" + std::to_string(expr->feature);
+    std::string leaf("f");
+    leaf += std::to_string(expr->feature);
+    return leaf;
   }
   OpType op = OpFromIndex(expr->op);
   if (IsUnary(op)) {
-    return OpName(op) + "(" + ExprToString(expr->left, names) + ")";
+    std::string text(OpName(op));
+    text += "(";
+    text += ExprToString(expr->left, names);
+    text += ")";
+    return text;
   }
-  return "(" + ExprToString(expr->left, names) + OpName(op) +
-         ExprToString(expr->right, names) + ")";
+  std::string text("(");
+  text += ExprToString(expr->left, names);
+  text += OpName(op);
+  text += ExprToString(expr->right, names);
+  text += ")";
+  return text;
 }
 
 uint64_t ExprHash(const ExprPtr& expr) {

@@ -5,8 +5,7 @@
 // (shared_ptr) because group-wise crossing creates many siblings with common
 // subtrees.
 
-#ifndef FASTFT_CORE_EXPRESSION_H_
-#define FASTFT_CORE_EXPRESSION_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -61,4 +60,3 @@ void AppendPostfix(const ExprPtr& expr, std::vector<PostfixItem>* out);
 
 }  // namespace fastft
 
-#endif  // FASTFT_CORE_EXPRESSION_H_

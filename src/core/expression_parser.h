@@ -12,8 +12,7 @@
 //   leaf   := feature name (longest match against the provided names, or
 //             "f<index>" when no names are given)
 
-#ifndef FASTFT_CORE_EXPRESSION_PARSER_H_
-#define FASTFT_CORE_EXPRESSION_PARSER_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -67,4 +66,3 @@ class TransformationProgram {
 
 }  // namespace fastft
 
-#endif  // FASTFT_CORE_EXPRESSION_PARSER_H_

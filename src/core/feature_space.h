@@ -5,8 +5,7 @@
 // (§III-B), column hygiene, de-duplication, and the MI-based feature budget
 // ("replacing useless features").
 
-#ifndef FASTFT_CORE_FEATURE_SPACE_H_
-#define FASTFT_CORE_FEATURE_SPACE_H_
+#pragma once
 
 #include <cstdint>
 #include <unordered_set>
@@ -114,4 +113,3 @@ class FeatureSpace {
 
 }  // namespace fastft
 
-#endif  // FASTFT_CORE_FEATURE_SPACE_H_

@@ -13,8 +13,7 @@
 // what recovered. The report is deterministic: identical runs (same seed,
 // same fault schedule) produce identical HealthReports.
 
-#ifndef FASTFT_CORE_HEALTH_H_
-#define FASTFT_CORE_HEALTH_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -90,4 +89,3 @@ struct HealthReport {
 
 }  // namespace fastft
 
-#endif  // FASTFT_CORE_HEALTH_H_

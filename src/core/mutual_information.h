@@ -3,8 +3,7 @@
 // Used by the clustering distance (paper Eq. 2) and by the MI-based feature
 // selection that keeps the transformed feature set within budget.
 
-#ifndef FASTFT_CORE_MUTUAL_INFORMATION_H_
-#define FASTFT_CORE_MUTUAL_INFORMATION_H_
+#pragma once
 
 #include <vector>
 
@@ -42,4 +41,3 @@ std::vector<int> TopKByRelevance(const DataFrame& frame,
 
 }  // namespace fastft
 
-#endif  // FASTFT_CORE_MUTUAL_INFORMATION_H_

@@ -15,8 +15,7 @@
 // bit-identical to the equivalent serial NormalizedNovelty loop at any
 // thread count.
 
-#ifndef FASTFT_CORE_NOVELTY_ESTIMATOR_H_
-#define FASTFT_CORE_NOVELTY_ESTIMATOR_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -103,4 +102,3 @@ class NoveltyEstimator {
 
 }  // namespace fastft
 
-#endif  // FASTFT_CORE_NOVELTY_ESTIMATOR_H_

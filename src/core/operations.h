@@ -4,8 +4,7 @@
 // Every operation is numerically guarded (no NaN/Inf escapes): division
 // clamps near-zero denominators, log/sqrt act on magnitudes, exp saturates.
 
-#ifndef FASTFT_CORE_OPERATIONS_H_
-#define FASTFT_CORE_OPERATIONS_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -54,4 +53,3 @@ std::vector<double> ApplyBinary(OpType op, const std::vector<double>& a,
 
 }  // namespace fastft
 
-#endif  // FASTFT_CORE_OPERATIONS_H_

@@ -12,8 +12,7 @@
 // the serial scores bit for bit because each output is a self-contained
 // deterministic computation.
 
-#ifndef FASTFT_CORE_PERFORMANCE_PREDICTOR_H_
-#define FASTFT_CORE_PERFORMANCE_PREDICTOR_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -85,4 +84,3 @@ class PerformancePredictor {
 
 }  // namespace fastft
 
-#endif  // FASTFT_CORE_PERFORMANCE_PREDICTOR_H_

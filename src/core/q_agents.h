@@ -6,8 +6,7 @@
 // learns from TD targets computed with a periodically-synced target network.
 // Dueling variants decompose Q(s,a) = V(s) + A(s,a) − mean_a' A(s,a').
 
-#ifndef FASTFT_CORE_Q_AGENTS_H_
-#define FASTFT_CORE_Q_AGENTS_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -93,4 +92,3 @@ class QCascade : public CascadePolicy {
 
 }  // namespace fastft
 
-#endif  // FASTFT_CORE_Q_AGENTS_H_

@@ -5,8 +5,7 @@
 // small buffer (S = 16) so critical memories stay fresh. Uniform sampling is
 // the −RCT ablation.
 
-#ifndef FASTFT_CORE_REPLAY_BUFFER_H_
-#define FASTFT_CORE_REPLAY_BUFFER_H_
+#pragma once
 
 #include <vector>
 
@@ -73,4 +72,3 @@ class PrioritizedReplayBuffer {
 
 }  // namespace fastft
 
-#endif  // FASTFT_CORE_REPLAY_BUFFER_H_

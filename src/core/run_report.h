@@ -4,8 +4,7 @@
 // outcome without parsing stdout. The writer emits a self-contained JSON
 // object; no external JSON dependency is used (output only).
 
-#ifndef FASTFT_CORE_RUN_REPORT_H_
-#define FASTFT_CORE_RUN_REPORT_H_
+#pragma once
 
 #include <string>
 
@@ -29,4 +28,3 @@ std::string JsonEscape(const std::string& text);
 
 }  // namespace fastft
 
-#endif  // FASTFT_CORE_RUN_REPORT_H_

@@ -5,8 +5,7 @@
 // statistic streams across columns — a fixed 49-dim vector independent of
 // column count or row count.
 
-#ifndef FASTFT_CORE_STATE_H_
-#define FASTFT_CORE_STATE_H_
+#pragma once
 
 #include <vector>
 
@@ -34,4 +33,3 @@ std::vector<double> Concat(const std::vector<double>& a,
 
 }  // namespace fastft
 
-#endif  // FASTFT_CORE_STATE_H_

@@ -7,8 +7,7 @@
 // ids (original feature indices folded into a fixed number of buckets so the
 // vocabulary is dataset-independent).
 
-#ifndef FASTFT_CORE_TOKENIZER_H_
-#define FASTFT_CORE_TOKENIZER_H_
+#pragma once
 
 #include <vector>
 
@@ -53,4 +52,3 @@ class Tokenizer {
 
 }  // namespace fastft
 
-#endif  // FASTFT_CORE_TOKENIZER_H_

@@ -4,8 +4,7 @@
 // cells in a column promote that column to categorical: distinct strings are
 // mapped to integer codes in first-seen order.
 
-#ifndef FASTFT_DATA_CSV_H_
-#define FASTFT_DATA_CSV_H_
+#pragma once
 
 #include <string>
 
@@ -33,4 +32,3 @@ Result<Dataset> ReadDatasetCsv(const std::string& path,
 
 }  // namespace fastft
 
-#endif  // FASTFT_DATA_CSV_H_

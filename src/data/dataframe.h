@@ -4,8 +4,7 @@
 // Feature transformation appends/replaces columns frequently, so columns are
 // independent vectors (appending is O(rows), never a reshape).
 
-#ifndef FASTFT_DATA_DATAFRAME_H_
-#define FASTFT_DATA_DATAFRAME_H_
+#pragma once
 
 #include <cstddef>
 #include <string>
@@ -69,4 +68,3 @@ class DataFrame {
 
 }  // namespace fastft
 
-#endif  // FASTFT_DATA_DATAFRAME_H_

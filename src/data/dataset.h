@@ -1,7 +1,6 @@
 // Task-typed dataset: a feature DataFrame plus a label vector.
 
-#ifndef FASTFT_DATA_DATASET_H_
-#define FASTFT_DATA_DATASET_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -44,4 +43,3 @@ void StandardizeInPlace(DataFrame* frame);
 
 }  // namespace fastft
 
-#endif  // FASTFT_DATA_DATASET_H_

@@ -5,8 +5,7 @@
 // full Table I harness stays laptop-fast; feature counts are kept up to a
 // cap of 48). `LoadZooDataset` is deterministic per name.
 
-#ifndef FASTFT_DATA_DATASET_ZOO_H_
-#define FASTFT_DATA_DATASET_ZOO_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -45,4 +44,3 @@ Dataset GenerateZooDataset(const ZooEntry& entry, int sample_override = 0);
 
 }  // namespace fastft
 
-#endif  // FASTFT_DATA_DATASET_ZOO_H_

@@ -1,7 +1,6 @@
 // Train/test splitting and k-fold cross-validation index generation.
 
-#ifndef FASTFT_DATA_SPLIT_H_
-#define FASTFT_DATA_SPLIT_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -36,4 +35,3 @@ TrainTestData MaterializeSplit(const Dataset& dataset,
 
 }  // namespace fastft
 
-#endif  // FASTFT_DATA_SPLIT_H_

@@ -118,7 +118,11 @@ DataFrame RowsToFrame(const std::vector<std::vector<double>>& rows,
   for (int c = 0; c < num_features; ++c) {
     std::vector<double> col(rows.size());
     for (size_t r = 0; r < rows.size(); ++r) col[r] = rows[r][c];
-    FASTFT_CHECK(frame.AddColumn("f" + std::to_string(c), std::move(col)).ok());
+    // Left-hand std::string: `"f" + std::to_string(c)` trips GCC 12's
+    // -Wrestrict false positive (PR105651) under -Werror.
+    std::string name("f");
+    name += std::to_string(c);
+    FASTFT_CHECK(frame.AddColumn(name, std::move(col)).ok());
   }
   return frame;
 }

@@ -6,8 +6,7 @@
 // that feature transformation genuinely improves downstream models — the
 // property every experiment in the paper exercises. See DESIGN.md §1.
 
-#ifndef FASTFT_DATA_SYNTHETIC_H_
-#define FASTFT_DATA_SYNTHETIC_H_
+#pragma once
 
 #include <cstdint>
 
@@ -50,4 +49,3 @@ Dataset MakeSynthetic(TaskType task, const SyntheticSpec& spec);
 
 }  // namespace fastft
 
-#endif  // FASTFT_DATA_SYNTHETIC_H_

@@ -4,8 +4,7 @@
 // limits, class-probability leaves, and impurity-decrease feature
 // importances (used by the traceability study, Table IV).
 
-#ifndef FASTFT_ML_DECISION_TREE_H_
-#define FASTFT_ML_DECISION_TREE_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -68,4 +67,3 @@ class DecisionTree : public Model {
 
 }  // namespace fastft
 
-#endif  // FASTFT_ML_DECISION_TREE_H_

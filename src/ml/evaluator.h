@@ -5,8 +5,7 @@
 // also exposes a feature-importance fit (Table IV) and a call counter used
 // by the runtime experiments.
 
-#ifndef FASTFT_ML_EVALUATOR_H_
-#define FASTFT_ML_EVALUATOR_H_
+#pragma once
 
 #include <atomic>
 #include <cstdint>
@@ -96,4 +95,3 @@ class Evaluator {
 
 }  // namespace fastft
 
-#endif  // FASTFT_ML_EVALUATOR_H_

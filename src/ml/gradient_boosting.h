@@ -2,8 +2,7 @@
 // study, Table III): squared loss for regression, logistic loss for binary
 // classification, one-vs-rest for multiclass.
 
-#ifndef FASTFT_ML_GRADIENT_BOOSTING_H_
-#define FASTFT_ML_GRADIENT_BOOSTING_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -43,4 +42,3 @@ class GradientBoosting : public Model {
 
 }  // namespace fastft
 
-#endif  // FASTFT_ML_GRADIENT_BOOSTING_H_

@@ -6,8 +6,7 @@
 // ModelKind::kIsolationForest. Scores follow the standard anomaly score
 // s(x) = 2^(−E[h(x)] / c(n)) ∈ (0, 1), higher = more anomalous.
 
-#ifndef FASTFT_ML_ISOLATION_FOREST_H_
-#define FASTFT_ML_ISOLATION_FOREST_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -68,4 +67,3 @@ double IsolationNormalizer(int n);
 
 }  // namespace fastft
 
-#endif  // FASTFT_ML_ISOLATION_FOREST_H_

@@ -5,8 +5,7 @@
 // sensitive to uninformative ones — a useful contrast to tree ensembles.
 // Features are standardized with training statistics internally.
 
-#ifndef FASTFT_ML_KNN_H_
-#define FASTFT_ML_KNN_H_
+#pragma once
 
 #include <vector>
 
@@ -41,4 +40,3 @@ class Knn : public Model {
 
 }  // namespace fastft
 
-#endif  // FASTFT_ML_KNN_H_

@@ -4,8 +4,7 @@
 //
 // All three standardize features with training statistics internally.
 
-#ifndef FASTFT_ML_LINEAR_MODELS_H_
-#define FASTFT_ML_LINEAR_MODELS_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -102,4 +101,3 @@ std::vector<double> SolveRidgeSystem(std::vector<std::vector<double>> a,
 
 }  // namespace fastft
 
-#endif  // FASTFT_ML_LINEAR_MODELS_H_

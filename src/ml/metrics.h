@@ -4,8 +4,7 @@
 // Regression: 1-RAE, 1-MAE, 1-MSE (paper convention: higher is better).
 // Detection: AUC (rank-based), plus F1/precision on the anomaly class.
 
-#ifndef FASTFT_ML_METRICS_H_
-#define FASTFT_ML_METRICS_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -60,4 +59,3 @@ double ComputeMetric(Metric metric, const std::vector<double>& truth,
 
 }  // namespace fastft
 
-#endif  // FASTFT_ML_METRICS_H_

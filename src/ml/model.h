@@ -5,8 +5,7 @@
 // positive-class score for binary tasks (used by AUC); the default falls
 // back to hard predictions.
 
-#ifndef FASTFT_ML_MODEL_H_
-#define FASTFT_ML_MODEL_H_
+#pragma once
 
 #include <vector>
 
@@ -32,4 +31,3 @@ class Model {
 
 }  // namespace fastft
 
-#endif  // FASTFT_ML_MODEL_H_

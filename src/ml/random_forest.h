@@ -4,8 +4,7 @@
 // the common configuration of prior FT work and evaluates with a random
 // forest). Probability averaging across trees gives the AUC scores.
 
-#ifndef FASTFT_ML_RANDOM_FOREST_H_
-#define FASTFT_ML_RANDOM_FOREST_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -55,4 +54,3 @@ class RandomForest : public Model {
 
 }  // namespace fastft
 
-#endif  // FASTFT_ML_RANDOM_FOREST_H_

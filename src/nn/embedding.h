@@ -1,7 +1,6 @@
 // Token embedding table with sparse-gradient backward.
 
-#ifndef FASTFT_NN_EMBEDDING_H_
-#define FASTFT_NN_EMBEDDING_H_
+#pragma once
 
 #include <vector>
 
@@ -41,4 +40,3 @@ class Embedding {
 }  // namespace nn
 }  // namespace fastft
 
-#endif  // FASTFT_NN_EMBEDDING_H_

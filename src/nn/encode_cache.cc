@@ -105,7 +105,7 @@ bool PrefixStateCache::LongestPrefix(const std::vector<int>& tokens,
   }
   const CacheMetrics& metrics = Metrics();
   metrics.lookups->Increment();
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   ++stats_.lookups;
   for (int len = n; len >= 1; --len) {
     auto it = index_.find(prefix_hash[len - 1]);
@@ -139,7 +139,7 @@ void PrefixStateCache::Insert(const std::vector<int>& tokens,
   uint64_t key = kFnvOffset;
   for (int token : prefix) key = HashStep(key, token);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     // Same prefix: refresh recency (state is weight-determined, identical).
@@ -175,13 +175,13 @@ void PrefixStateCache::EvictOverCapLocked() {
 void PrefixStateCache::RecordEncoded(int64_t count) {
   if (!enabled() || count <= 0) return;
   Metrics().tokens_encoded->Increment(count);
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   stats_.tokens_encoded += count;
 }
 
 void PrefixStateCache::Invalidate() {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   if (!lru_.empty()) {
     ++stats_.invalidations;
     Metrics().invalidations->Increment();
@@ -192,17 +192,17 @@ void PrefixStateCache::Invalidate() {
 }
 
 PrefixCacheStats PrefixStateCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return stats_;
 }
 
 size_t PrefixStateCache::bytes_used() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return bytes_used_;
 }
 
 size_t PrefixStateCache::entries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return lru_.size();
 }
 

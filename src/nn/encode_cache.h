@@ -20,15 +20,15 @@
 // LRU order under concurrency is not — which is fine, because cache state
 // only moves where an encode starts, never what it computes.
 
-#ifndef FASTFT_NN_ENCODE_CACHE_H_
-#define FASTFT_NN_ENCODE_CACHE_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace fastft {
 namespace nn {
@@ -105,17 +105,17 @@ class PrefixStateCache {
   using EntryList = std::list<Entry>;
 
   static size_t EntryBytes(const Entry& entry);
-  void EvictOverCapLocked();
+  void EvictOverCapLocked() FASTFT_REQUIRES(mu_);
 
   const size_t capacity_bytes_;
-  mutable std::mutex mu_;
-  size_t bytes_used_ = 0;
-  EntryList lru_;  // front = most recently used
-  std::unordered_map<uint64_t, EntryList::iterator> index_;
-  PrefixCacheStats stats_;
+  mutable common::Mutex mu_;
+  size_t bytes_used_ FASTFT_GUARDED_BY(mu_) = 0;
+  // front = most recently used
+  EntryList lru_ FASTFT_GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, EntryList::iterator> index_
+      FASTFT_GUARDED_BY(mu_);
+  PrefixCacheStats stats_ FASTFT_GUARDED_BY(mu_);
 };
 
 }  // namespace nn
 }  // namespace fastft
-
-#endif  // FASTFT_NN_ENCODE_CACHE_H_

@@ -5,8 +5,7 @@
 // initialized (paper §III-C, following randomized-prior / RND work) so its
 // outputs are decorrelated from the trained estimator at start.
 
-#ifndef FASTFT_NN_INIT_H_
-#define FASTFT_NN_INIT_H_
+#pragma once
 
 #include "nn/matrix.h"
 
@@ -25,4 +24,3 @@ Matrix OrthogonalInit(int rows, int cols, double gain, Rng* rng);
 }  // namespace nn
 }  // namespace fastft
 
-#endif  // FASTFT_NN_INIT_H_

@@ -1,7 +1,6 @@
 // Fully-connected layer with cached-input backward pass.
 
-#ifndef FASTFT_NN_LINEAR_H_
-#define FASTFT_NN_LINEAR_H_
+#pragma once
 
 #include <vector>
 
@@ -54,4 +53,3 @@ class Relu {
 }  // namespace nn
 }  // namespace fastft
 
-#endif  // FASTFT_NN_LINEAR_H_

@@ -3,8 +3,7 @@
 // Weight layout: W is (4H × (H+D)) with gate blocks ordered [i, f, g, o];
 // b is (4H × 1). Forward caches per-timestep activations for Backward.
 
-#ifndef FASTFT_NN_LSTM_H_
-#define FASTFT_NN_LSTM_H_
+#pragma once
 
 #include <vector>
 
@@ -64,4 +63,3 @@ class LstmLayer {
 }  // namespace nn
 }  // namespace fastft
 
-#endif  // FASTFT_NN_LSTM_H_

@@ -10,8 +10,7 @@
 // so results are bit-identical to the naive kernel — the property the
 // estimation path's exact-`==` determinism tests rely on.
 
-#ifndef FASTFT_NN_MATRIX_H_
-#define FASTFT_NN_MATRIX_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -112,4 +111,3 @@ struct Parameter {
 }  // namespace nn
 }  // namespace fastft
 
-#endif  // FASTFT_NN_MATRIX_H_

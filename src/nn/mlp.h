@@ -2,8 +2,7 @@
 // orthogonal initialization (used by the Novelty Estimator's networks and
 // the RL policy/value networks).
 
-#ifndef FASTFT_NN_MLP_H_
-#define FASTFT_NN_MLP_H_
+#pragma once
 
 #include <vector>
 
@@ -52,4 +51,3 @@ class Mlp {
 }  // namespace nn
 }  // namespace fastft
 
-#endif  // FASTFT_NN_MLP_H_

@@ -1,8 +1,7 @@
 // Optimizers: Adam (default throughout) and plain SGD; global-norm gradient
 // clipping.
 
-#ifndef FASTFT_NN_OPTIMIZER_H_
-#define FASTFT_NN_OPTIMIZER_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -54,4 +53,3 @@ class SgdOptimizer {
 }  // namespace nn
 }  // namespace fastft
 
-#endif  // FASTFT_NN_OPTIMIZER_H_

@@ -1,7 +1,6 @@
 // Vanilla tanh RNN layer (Fig. 8 ablation backbone).
 
-#ifndef FASTFT_NN_RNN_H_
-#define FASTFT_NN_RNN_H_
+#pragma once
 
 #include <vector>
 
@@ -46,4 +45,3 @@ class RnnLayer {
 }  // namespace nn
 }  // namespace fastft
 
-#endif  // FASTFT_NN_RNN_H_

@@ -14,8 +14,7 @@
 //     sequence that extends a previously-seen prefix re-encodes only the
 //     appended tokens. The cache is invalidated on every weight update.
 
-#ifndef FASTFT_NN_SEQUENCE_MODEL_H_
-#define FASTFT_NN_SEQUENCE_MODEL_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -147,4 +146,3 @@ class SequenceModel {
 }  // namespace nn
 }  // namespace fastft
 
-#endif  // FASTFT_NN_SEQUENCE_MODEL_H_

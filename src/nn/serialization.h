@@ -5,8 +5,7 @@
 // Loading is shape-checked against the destination parameters, so a file
 // can only be restored into a model with the identical architecture.
 
-#ifndef FASTFT_NN_SERIALIZATION_H_
-#define FASTFT_NN_SERIALIZATION_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -28,4 +27,3 @@ Status LoadParameters(const std::vector<Parameter*>& params,
 }  // namespace nn
 }  // namespace fastft
 
-#endif  // FASTFT_NN_SERIALIZATION_H_

@@ -6,8 +6,7 @@
 // backward pass small. Activation memory is O(L^2) in sequence length —
 // the property Fig. 11 contrasts against the recurrent predictor.
 
-#ifndef FASTFT_NN_TRANSFORMER_H_
-#define FASTFT_NN_TRANSFORMER_H_
+#pragma once
 
 #include <vector>
 
@@ -52,4 +51,3 @@ class TransformerBlock {
 }  // namespace nn
 }  // namespace fastft
 
-#endif  // FASTFT_NN_TRANSFORMER_H_

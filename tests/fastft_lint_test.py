@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""ctest driver for tools/fastft_lint.py.
+
+Builds a scratch tree from tests/lint_fixtures/ (each fixture names its
+destination path in a `// fixture-dest:` header — rules are path-scoped),
+runs the linter over it, and asserts:
+
+  * every trigger_* fixture fires its expected rule (and only that rule),
+  * the clean fixture and the suppression fixture fire nothing,
+  * the real repository tree lints clean (exit 0),
+  * the linter's exit codes match its contract (1 = findings, 0 = clean).
+
+Run directly or via `ctest -R fastft_lint`.
+"""
+
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+LINT = os.path.join(REPO_ROOT, "tools", "fastft_lint.py")
+FIXTURES = os.path.join(REPO_ROOT, "tests", "lint_fixtures")
+
+DEST_RE = re.compile(r"//\s*fixture-dest:\s*(\S+)")
+FINDING_RE = re.compile(r"^(?P<path>[^:]+):(?P<line>\d+): \[(?P<rule>[a-z-]+)\]")
+
+# fixture file -> (destination-relative path, expected rule or None)
+EXPECTATIONS = {
+    "trigger_nondeterminism.cc": "nondeterminism",
+    "trigger_unordered_iteration.cc": "unordered-iteration",
+    "trigger_raw_mutex.cc": "raw-mutex",
+    "trigger_check_user_input.cc": "check-user-input",
+    "trigger_pragma_once.h": "pragma-once",
+    "clean.cc": None,
+    "suppressed.cc": None,
+}
+
+failures = []
+
+
+def check(condition, message):
+    if not condition:
+        failures.append(message)
+        print(f"FAIL: {message}")
+    else:
+        print(f"ok:   {message}")
+
+
+def run_lint(*args):
+    proc = subprocess.run(
+        [sys.executable, LINT, *args],
+        capture_output=True, text=True)
+    return proc
+
+
+def main():
+    # --- scratch tree from the fixtures -------------------------------
+    with tempfile.TemporaryDirectory(prefix="fastft_lint_test") as scratch:
+        dest_of = {}
+        for name in sorted(EXPECTATIONS):
+            src = os.path.join(FIXTURES, name)
+            with open(src, encoding="utf-8") as f:
+                header = f.readline()
+            match = DEST_RE.search(header)
+            check(match is not None, f"{name} declares a fixture-dest header")
+            if not match:
+                continue
+            dest = match.group(1)
+            dest_of[name] = dest
+            target = os.path.join(scratch, dest)
+            os.makedirs(os.path.dirname(target), exist_ok=True)
+            shutil.copyfile(src, target)
+        # pragma-once must not fire on the scratch headers we did not seed,
+        # so the scratch tree contains only the fixtures themselves.
+
+        proc = run_lint("--root", scratch)
+        check(proc.returncode == 1,
+              f"scratch tree exits 1 (findings), got {proc.returncode}")
+
+        fired = {}  # dest path -> set of rules
+        for line in proc.stdout.splitlines():
+            match = FINDING_RE.match(line)
+            if match:
+                fired.setdefault(match.group("path"), set()).add(
+                    match.group("rule"))
+
+        for name, rule in sorted(EXPECTATIONS.items()):
+            dest = dest_of.get(name)
+            if dest is None:
+                continue
+            rules = fired.get(dest, set())
+            if rule is None:
+                check(not rules,
+                      f"{name}: no findings expected, got {sorted(rules)}")
+            else:
+                check(rule in rules, f"{name}: triggers [{rule}]")
+                check(rules == {rule},
+                      f"{name}: triggers only [{rule}], got {sorted(rules)}")
+
+    # --- per-file invocation: clean file exits 0 ----------------------
+    proc = run_lint("--root", FIXTURES,
+                    os.path.join(FIXTURES, "clean.cc"))
+    check(proc.returncode == 0,
+          f"explicit clean file exits 0, got {proc.returncode}")
+
+    # --- the real tree must be clean ----------------------------------
+    proc = run_lint("--root", REPO_ROOT)
+    check(proc.returncode == 0,
+          "repository tree lints clean "
+          f"(exit {proc.returncode}):\n{proc.stdout}")
+
+    # --- --list-rules names every expected rule -----------------------
+    proc = run_lint("--list-rules")
+    listed = proc.stdout
+    for rule in ("nondeterminism", "unordered-iteration", "raw-mutex",
+                 "check-user-input", "pragma-once"):
+        check(rule in listed, f"--list-rules mentions {rule}")
+
+    if failures:
+        print(f"\n{len(failures)} assertion(s) failed")
+        return 1
+    print("\nall fastft_lint assertions passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+// fixture-dest: src/core/clean.cc
+// Must trigger: nothing. Seeded randomness, ordered containers, annotated
+// locking via the wrappers, no CHECK in parsing layers.
+#include <map>
+#include <vector>
+
+namespace fastft {
+
+std::map<int, double> ordered_scores;
+
+double SumOrdered() {
+  double total = 0.0;
+  for (const auto& [token, score] : ordered_scores) {
+    total += score;
+  }
+  return total;
+}
+
+}  // namespace fastft

@@ -1,0 +1,21 @@
+// fixture-dest: src/core/suppressed.cc
+// Must trigger: nothing — each violation carries a per-line allow()
+// suppression naming its rule, which is the documented escape hatch.
+#include <chrono>
+#include <unordered_map>
+
+namespace fastft {
+
+std::unordered_map<int, double> diagnostics;
+
+double DebugDump() {
+  auto t0 = std::chrono::steady_clock::now();  // fastft-lint: allow(nondeterminism)
+  double total = 0.0;
+  for (const auto& [k, v] : diagnostics) {  // fastft-lint: allow(unordered-iteration)
+    total += v;
+  }
+  (void)t0;
+  return total;
+}
+
+}  // namespace fastft

@@ -1,0 +1,14 @@
+// fixture-dest: src/data/csv_trigger_check_user_input.cc
+// Must trigger: check-user-input (CHECK in an input-parsing layer).
+
+#define FASTFT_CHECK(cond) (void)(cond)
+#define FASTFT_CHECK_GE(a, b) (void)((a) >= (b))
+
+namespace fastft {
+
+void ParseRow(int fields) {
+  FASTFT_CHECK(fields > 0);
+  FASTFT_CHECK_GE(fields, 1);
+}
+
+}  // namespace fastft

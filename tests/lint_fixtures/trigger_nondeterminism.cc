@@ -1,0 +1,19 @@
+// fixture-dest: src/core/trigger_nondeterminism.cc
+// Must trigger: nondeterminism (four flavors, four findings).
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fastft {
+
+double WallSeedScore() {
+  std::random_device entropy;
+  unsigned seed = entropy() ^ static_cast<unsigned>(time(nullptr));
+  std::srand(seed);
+  auto t0 = std::chrono::steady_clock::now();
+  (void)t0;
+  return static_cast<double>(std::rand());
+}
+
+}  // namespace fastft

@@ -1,0 +1,16 @@
+// fixture-dest: src/common/trigger_raw_mutex.cc
+// Must trigger: raw-mutex (std::mutex + std::lock_guard bypassing the
+// annotated wrappers).
+#include <mutex>
+
+namespace fastft {
+
+std::mutex g_raw_mu;
+int g_counter = 0;
+
+void Bump() {
+  std::lock_guard<std::mutex> lock(g_raw_mu);
+  ++g_counter;
+}
+
+}  // namespace fastft

@@ -1,0 +1,18 @@
+// fixture-dest: src/nn/trigger_unordered_iteration.cc
+// Must trigger: unordered-iteration (range-for over a hash map in a
+// scoring-path directory).
+#include <unordered_map>
+
+namespace fastft {
+
+std::unordered_map<int, double> scores;
+
+double SumScores() {
+  double total = 0.0;
+  for (const auto& [token, score] : scores) {
+    total += score;
+  }
+  return total;
+}
+
+}  // namespace fastft

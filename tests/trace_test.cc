@@ -149,7 +149,8 @@ TEST_F(TraceTest, PoolWorkersAttributeSpansToNamedThreads) {
     for (int i = 0; i < 8; ++i) {
       futures.push_back(pool.Submit([] {
         volatile double sink = 0.0;
-        for (int k = 0; k < 1000; ++k) sink += static_cast<double>(k);
+        // Plain assignment: compound ops on volatile are deprecated in C++20.
+        for (int k = 0; k < 1000; ++k) sink = sink + static_cast<double>(k);
       }));
     }
     for (std::future<void>& f : futures) f.get();

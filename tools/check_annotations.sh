@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Negative-compile check for the thread-safety annotations.
+#
+# Proves the annotation layer actually enforces something: a snippet that
+# reads a FASTFT_GUARDED_BY member without holding its Mutex must FAIL to
+# compile under Clang's -Wthread-safety -Werror=thread-safety-analysis,
+# and the corrected snippet (same access under MutexLock) must succeed.
+#
+#   $ tools/check_annotations.sh            # auto-detect clang++
+#   $ CLANGXX=clang++-17 tools/check_annotations.sh
+#
+# Exits 0 when both assertions hold (or with a SKIP notice when no Clang
+# toolchain is installed — GCC compiles the annotations away, so there is
+# nothing to verify), 1 when the analysis failed to reject the bad snippet
+# or rejected the good one.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+CLANGXX="${CLANGXX:-}"
+if [[ -z "${CLANGXX}" ]]; then
+  for candidate in clang++ clang++-19 clang++-18 clang++-17 clang++-16 \
+                   clang++-15 clang++-14; do
+    if command -v "${candidate}" > /dev/null 2>&1; then
+      CLANGXX="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${CLANGXX}" ]]; then
+  echo "check_annotations: SKIP (no clang++ found; annotations are no-ops" \
+       "on this toolchain)"
+  exit 0
+fi
+
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "${WORKDIR}"' EXIT
+
+FLAGS=(-std=c++20 -fsyntax-only -I src
+       -Wthread-safety -Werror=thread-safety-analysis)
+
+# Unguarded access: must be rejected.
+cat > "${WORKDIR}/bad.cc" <<'EOF'
+#include "common/thread_annotations.h"
+
+using fastft::common::Mutex;
+using fastft::common::MutexLock;
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    balance_ += amount;  // BUG: mu_ not held
+  }
+
+ private:
+  Mutex mu_;
+  int balance_ FASTFT_GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Account account;
+  account.Deposit(1);
+}
+EOF
+
+# Same access under the lock: must be accepted.
+cat > "${WORKDIR}/good.cc" <<'EOF'
+#include "common/thread_annotations.h"
+
+using fastft::common::Mutex;
+using fastft::common::MutexLock;
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    MutexLock lock(&mu_);
+    balance_ += amount;
+  }
+
+ private:
+  Mutex mu_;
+  int balance_ FASTFT_GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Account account;
+  account.Deposit(1);
+}
+EOF
+
+FAIL=0
+
+if "${CLANGXX}" "${FLAGS[@]}" "${WORKDIR}/bad.cc" > "${WORKDIR}/bad.log" 2>&1; then
+  echo "check_annotations: FAIL — unguarded GUARDED_BY access compiled" \
+       "cleanly; the analysis is not enforcing"
+  FAIL=1
+elif ! grep -q "thread-safety" "${WORKDIR}/bad.log"; then
+  echo "check_annotations: FAIL — bad.cc was rejected, but not by the" \
+       "thread-safety analysis:"
+  cat "${WORKDIR}/bad.log"
+  FAIL=1
+else
+  echo "check_annotations: OK — unguarded access rejected by -Wthread-safety"
+fi
+
+if ! "${CLANGXX}" "${FLAGS[@]}" "${WORKDIR}/good.cc" > "${WORKDIR}/good.log" 2>&1; then
+  echo "check_annotations: FAIL — correctly locked snippet was rejected:"
+  cat "${WORKDIR}/good.log"
+  FAIL=1
+else
+  echo "check_annotations: OK — locked access accepted"
+fi
+
+exit "${FAIL}"

@@ -25,6 +25,13 @@ if [[ $# -gt 0 ]]; then SANITIZERS=("$@"); else SANITIZERS=(address undefined th
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
+# Static analysis first: the lint + thread-safety annotation build +
+# clang-tidy catch whole-program discipline violations the sanitizers can
+# only hit dynamically (and only on exercised interleavings). Cheap, so it
+# gates every sanitizer run.
+echo "=== static checks (check_static.sh) ==="
+tools/check_static.sh
+
 for SAN in "${SANITIZERS[@]}"; do
   BUILD_DIR="build-${SAN}"
   echo "=== sanitizer: ${SAN} -> ${BUILD_DIR} ==="
