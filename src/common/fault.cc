@@ -1,5 +1,7 @@
 #include "common/fault.h"
 
+#include <cstdlib>
+
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "common/thread_annotations.h"
@@ -25,6 +27,8 @@ struct SiteState {
 struct InjectorState {
   uint64_t seed FASTFT_GUARDED_BY(FaultMutex()) = 0;
   std::map<std::string, SiteState> sites FASTFT_GUARDED_BY(FaultMutex());
+  std::map<std::string, int64_t> kill_at FASTFT_GUARDED_BY(FaultMutex());
+  KillMode kill_mode FASTFT_GUARDED_BY(FaultMutex()) = KillMode::kExit;
 };
 
 InjectorState& State() {
@@ -61,11 +65,25 @@ void FaultInjector::Arm(uint64_t seed,
   armed_.store(true, std::memory_order_relaxed);
 }
 
+void FaultInjector::ArmKill(std::map<std::string, int64_t> site_kill_at_hit,
+                            KillMode mode) {
+  InjectorState& state = State();
+  MutexLock lock(&FaultMutex());
+  state.kill_at = std::move(site_kill_at_hit);
+  state.kill_mode = mode;
+  for (const auto& [site, unused] : state.kill_at) {
+    (void)unused;
+    state.sites[site].stats = FaultSiteStats{};
+  }
+  armed_.store(true, std::memory_order_relaxed);
+}
+
 void FaultInjector::Disarm() {
   InjectorState& state = State();
   MutexLock lock(&FaultMutex());
   armed_.store(false, std::memory_order_relaxed);
   state.sites.clear();
+  state.kill_at.clear();
 }
 
 bool FaultInjector::ShouldFail(const char* site) {
@@ -76,6 +94,13 @@ bool FaultInjector::ShouldFail(const char* site) {
   // discovers the site names a code path exposes.
   SiteState& s = state.sites[site];
   int64_t hit = s.stats.hits++;
+  auto kill = state.kill_at.find(site);
+  if (kill != state.kill_at.end() && hit == kill->second) {
+    // Chaos kill: die without unwinding, exactly as an external SIGKILL /
+    // OOM would. 137 is the conventional "killed" exit code.
+    if (state.kill_mode == KillMode::kAbort) std::abort();
+    std::_Exit(137);
+  }
   // Decision = pure function of (seed, site name, hit index).
   uint64_t stream = state.seed ^ HashSite(site) ^
                     (static_cast<uint64_t>(hit) * 0x9E3779B97F4A7C15ull);

@@ -32,6 +32,12 @@ struct FaultSiteStats {
   int64_t fires = 0;  // times the site was told to fail
 };
 
+/// How an armed kill site terminates the process.
+enum class KillMode {
+  kExit,   // std::_Exit(137): no atexit handlers, mimics SIGKILL timing
+  kAbort,  // std::abort(): raises SIGABRT
+};
+
 class FaultInjector {
  public:
   /// Arms the injector. `site_probability` maps exact site names to fault
@@ -41,7 +47,17 @@ class FaultInjector {
   static void Arm(uint64_t seed,
                   std::map<std::string, double> site_probability);
 
-  /// Disarms the injector and clears its configuration.
+  /// Arms process-kill chaos: the Nth hit (0-based) of each listed site
+  /// terminates the process via `mode`, without returning. Unlike the
+  /// probability mode, the schedule is an explicit hit index, so a resumed
+  /// process (whose counters restart at zero) survives the sites it already
+  /// passed unless told to die again — the property the kill-and-resume
+  /// harness depends on. Composes with Arm(): kill sites are checked first.
+  static void ArmKill(std::map<std::string, int64_t> site_kill_at_hit,
+                      KillMode mode);
+
+  /// Disarms the injector and clears its configuration (probabilities and
+  /// kill schedule both).
   static void Disarm();
 
   /// Fast gate read by FASTFT_FAULT_POINT; true after Arm().

@@ -1,0 +1,173 @@
+#include "common/fs.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#if defined(_WIN32)
+#include <io.h>
+#else
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+#endif
+
+namespace fastft {
+namespace common {
+namespace {
+
+std::string ErrnoDetail() {
+  return std::string(std::strerror(errno)) + " (errno " +
+         std::to_string(errno) + ")";
+}
+
+std::string DirName(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+#if !defined(_WIN32)
+Status FsyncPath(const std::string& path, bool is_dir) {
+  int flags = O_RDONLY;
+#ifdef O_DIRECTORY
+  if (is_dir) flags |= O_DIRECTORY;
+#endif
+  int fd = ::open(path.c_str(), flags);
+  if (fd < 0) {
+    // Some filesystems refuse to open directories for fsync; the rename is
+    // still atomic, only its durability window widens. Not worth failing
+    // the write over.
+    if (is_dir) return Status::OK();
+    return Status::IOError("open for fsync failed for '" + path +
+                           "': " + ErrnoDetail());
+  }
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0 && !is_dir) {
+    return Status::IOError("fsync failed for '" + path +
+                           "': " + ErrnoDetail());
+  }
+  return Status::OK();
+}
+#endif
+
+}  // namespace
+
+Status AtomicWriteFile(const std::string& path, const std::string& content) {
+  const std::string dir = DirName(path);
+#if defined(_WIN32)
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IOError("cannot open temp file '" + tmp +
+                             "': " + ErrnoDetail());
+    }
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Status::IOError("write failed for temp file '" + tmp +
+                             "': " + ErrnoDetail());
+    }
+  }
+#else
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  // Raw write + fdatasync on the same descriptor: checkpoints are written
+  // every episode, and the buffered-stream path (streambuf copy, then a
+  // second open-by-path just to sync) roughly doubled the cost of each
+  // multi-megabyte write. fdatasync persists the data and the file size —
+  // everything a reader needs — and skips the mtime-only metadata flush.
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot open temp file '" + tmp +
+                           "': " + ErrnoDetail());
+  }
+  const char* p = content.data();
+  size_t left = content.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      std::remove(tmp.c_str());
+      return Status::IOError("write failed for temp file '" + tmp +
+                             "': " + ErrnoDetail());
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+#if defined(__APPLE__)
+  int sync_rc = ::fsync(fd);  // macOS has no fdatasync.
+#else
+  int sync_rc = ::fdatasync(fd);
+#endif
+  if (sync_rc != 0 || ::close(fd) != 0) {
+    if (sync_rc != 0) ::close(fd);
+    std::remove(tmp.c_str());
+    return Status::IOError("sync failed for temp file '" + tmp +
+                           "': " + ErrnoDetail());
+  }
+#endif
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("rename '" + tmp + "' -> '" + path +
+                           "' failed: " + ErrnoDetail());
+  }
+#if !defined(_WIN32)
+  FASTFT_RETURN_NOT_OK(FsyncPath(dir, /*is_dir=*/true));
+#else
+  (void)dir;
+#endif
+  return Status::OK();
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open '" + path + "': " + ErrnoDetail());
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    return Status::IOError("read failed for '" + path +
+                           "': " + ErrnoDetail());
+  }
+  *out = buf.str();
+  return Status::OK();
+}
+
+Status EnsureDir(const std::string& path) {
+  if (path.empty() || path == "." || path == "/") return Status::OK();
+  // Create intermediate components first; EEXIST (or any prefix failure
+  // that the final mkdir inherits) is resolved by the last call's errno.
+  size_t pos = 1;
+  while ((pos = path.find('/', pos)) != std::string::npos) {
+    std::string prefix = path.substr(0, pos);
+#if defined(_WIN32)
+    ::_mkdir(prefix.c_str());
+#else
+    ::mkdir(prefix.c_str(), 0777);
+#endif
+    ++pos;
+  }
+#if defined(_WIN32)
+  int rc = ::_mkdir(path.c_str());
+#else
+  int rc = ::mkdir(path.c_str(), 0777);
+#endif
+  if (rc != 0 && errno != EEXIST) {
+    return Status::IOError("mkdir '" + path + "' failed: " + ErrnoDetail());
+  }
+  return Status::OK();
+}
+
+}  // namespace common
+}  // namespace fastft

@@ -1,6 +1,7 @@
 #include "common/rng.h"
 
 #include <numeric>
+#include <sstream>
 
 #include "common/logging.h"
 
@@ -40,6 +41,23 @@ int Rng::SampleDiscrete(const std::vector<double>& weights) {
     if (r < acc) return last_positive;
   }
   return last_positive;
+}
+
+std::string Rng::SaveState() const {
+  // The standard guarantees operator<</>> round-trip engine and
+  // distribution state exactly (the values stream as integers / exact
+  // decimal forms under the classic locale).
+  std::ostringstream out;
+  out.imbue(std::locale::classic());
+  out << engine_ << '\n' << unit_ << '\n' << normal_;
+  return out.str();
+}
+
+bool Rng::LoadState(const std::string& blob) {
+  std::istringstream in(blob);
+  in.imbue(std::locale::classic());
+  in >> engine_ >> unit_ >> normal_;
+  return !in.fail();
 }
 
 std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 namespace fastft {
@@ -53,6 +54,14 @@ class Rng {
 
   /// Returns k distinct indices drawn from [0, n) (k clamped to n).
   std::vector<int> SampleWithoutReplacement(int n, int k);
+
+  /// Serializes the full stream state (engine plus distribution internals —
+  /// normal_distribution caches a Box-Muller spare draw, so the
+  /// distributions carry state too) as a portable text blob.
+  std::string SaveState() const;
+  /// Restores a SaveState() blob; false on malformed input (state is then
+  /// unspecified and the Rng should be re-seeded).
+  bool LoadState(const std::string& blob);
 
   std::mt19937_64& engine() { return engine_; }
 

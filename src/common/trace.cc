@@ -4,11 +4,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <memory>
 #include <sstream>
 #include <unordered_map>
 
+#include "common/fs.h"
 #include "common/thread_annotations.h"
 
 namespace fastft {
@@ -262,12 +262,8 @@ std::string ChromeTraceJson(const TraceSnapshot& snapshot) {
 }
 
 Status WriteChromeTrace(const std::string& path) {
-  std::ofstream out(path);
-  if (!out) {
-    return Status::IOError("cannot open " + path + " for writing");
-  }
-  out << ChromeTraceJson(SnapshotTrace());
-  return out.good() ? Status::OK() : Status::IOError("write failed: " + path);
+  // Atomic write: a crash mid-export must not leave a truncated JSON file.
+  return common::AtomicWriteFile(path, ChromeTraceJson(SnapshotTrace()));
 }
 
 namespace internal {

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "nn/serialization.h"
 
 namespace fastft {
 
@@ -146,6 +147,37 @@ void CascadingAgents::Optimize(const Transition& t) {
   if (t.tail_action >= 0) {
     ActorUpdate(&tail_net_, tail_opt_.get(), t.tail_inputs, t.tail_action,
                 advantage, /*logits_row=*/false);
+  }
+}
+
+namespace {
+
+std::vector<nn::Parameter*> NetParams(nn::Mlp* net) {
+  std::vector<nn::Parameter*> params;
+  net->CollectParams(&params);
+  return params;
+}
+
+}  // namespace
+
+void CascadingAgents::SaveState(common::BinaryWriter* writer) {
+  nn::Mlp* nets[] = {&head_net_, &op_net_, &tail_net_, &critic_};
+  nn::AdamOptimizer* opts[] = {head_opt_.get(), op_opt_.get(),
+                               tail_opt_.get(), critic_opt_.get()};
+  for (int i = 0; i < 4; ++i) {
+    nn::SerializeParameters(NetParams(nets[i]), writer);
+    opts[i]->SaveState(writer);
+  }
+}
+
+void CascadingAgents::LoadState(common::BinaryReader* reader) {
+  nn::Mlp* nets[] = {&head_net_, &op_net_, &tail_net_, &critic_};
+  nn::AdamOptimizer* opts[] = {head_opt_.get(), op_opt_.get(),
+                               tail_opt_.get(), critic_opt_.get()};
+  for (int i = 0; i < 4; ++i) {
+    nn::DeserializeParameters(reader, NetParams(nets[i]));
+    opts[i]->LoadState(reader);
+    if (!reader->ok()) return;
   }
 }
 

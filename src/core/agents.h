@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/serial.h"
 #include "core/operations.h"
 #include "core/replay_buffer.h"
 #include "core/state.h"
@@ -60,6 +61,13 @@ class CascadePolicy {
   /// anneals this from exploration toward exploitation).
   virtual void SetExplorationRate(double epsilon) = 0;
 
+  /// Snapshots all learned state (networks, optimizer moments, target-sync
+  /// counters) into a checkpoint payload.
+  virtual void SaveState(common::BinaryWriter* writer) = 0;
+  /// Restores a SaveState payload written by the same policy class with the
+  /// same config; mismatches fail the reader.
+  virtual void LoadState(common::BinaryReader* reader) = 0;
+
   /// Input widths implied by the state representation.
   static int HeadInputDim() { return 2 * kStateDim; }
   static int OpInputDim() { return 2 * kStateDim; }
@@ -80,6 +88,8 @@ class CascadingAgents : public CascadePolicy {
   void SetExplorationRate(double epsilon) override {
     config_.epsilon = epsilon;
   }
+  void SaveState(common::BinaryWriter* writer) override;
+  void LoadState(common::BinaryReader* reader) override;
 
   /// Critic estimate V(s) of a 49-dim state.
   double Value(const std::vector<double>& state);

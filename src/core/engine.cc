@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <string>
 #include <unordered_set>
 
+#include "common/cancel.h"
 #include "common/fault.h"
 #include "common/logging.h"
 #include "common/metrics.h"
@@ -13,6 +15,7 @@
 #include "common/stats.h"
 #include "common/threadpool.h"
 #include "common/trace.h"
+#include "core/checkpoint.h"
 #include "core/mutual_information.h"
 #include "core/state.h"
 
@@ -22,6 +25,7 @@ namespace {
 constexpr char kOpt[] = "optimization";
 constexpr char kEst[] = "estimation";
 constexpr char kEval[] = "evaluation";
+constexpr char kCkpt[] = "checkpoint";
 
 struct EngineMetrics {
   obs::Counter* steps;
@@ -206,6 +210,18 @@ Status ValidateEngineConfig(const EngineConfig& config) {
     return invalid("trace_ring_capacity must be >= 1 when tracing, got " +
                    std::to_string(config.trace_ring_capacity));
   }
+  if (config.checkpoint_every_episodes < 1) {
+    return invalid("checkpoint_every_episodes must be >= 1, got " +
+                   std::to_string(config.checkpoint_every_episodes));
+  }
+  if (config.wall_clock_budget_ms < 0) {
+    return invalid("wall_clock_budget_ms must be >= 0 (0 = no budget), got " +
+                   std::to_string(config.wall_clock_budget_ms));
+  }
+  if (config.resume && config.checkpoint_path.empty()) {
+    return invalid("resume requires checkpoint_path (there is nothing to "
+                   "resume from)");
+  }
   return Status::OK();
 }
 
@@ -248,6 +264,15 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
   HealthReport& health = result.health;
   Rng rng(config_.seed);
 
+  // Cooperative deadline watchdog: armed before any evaluation so even the
+  // baseline respects the budget; checked at episode/step boundaries here
+  // and per fold/candidate inside the evaluator.
+  common::DeadlineToken deadline;
+  deadline.ArmBudget(config_.wall_clock_budget_ms);
+  if (config_.cancel_flag != nullptr) {
+    deadline.AttachExternalFlag(config_.cancel_flag.get());
+  }
+
   // Substrate setup.
   FeatureSpaceConfig fs_config = config_.feature_space;
   fs_config.max_features =
@@ -259,6 +284,7 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
   EvaluatorConfig eval_config = config_.evaluator;
   eval_config.seed = DeriveSeed(config_.seed, 21);
   eval_config.num_threads = config_.num_threads;
+  eval_config.deadline = &deadline;
   Evaluator evaluator(eval_config);
 
   // Downstream candidate scoring goes through one guarded batch: candidates
@@ -292,22 +318,80 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
   pp_config.vocab_size = tokenizer.vocab_size();
   pp_config.prefix_cache_bytes = cache_bytes;
   pp_config.seed = DeriveSeed(config_.seed, 22);
-  PerformancePredictor predictor(pp_config);
+  // optional<> so a failed checkpoint restore can rebuild the estimation
+  // networks from their seeds (SequenceModel is intentionally non-copyable).
+  std::optional<PerformancePredictor> predictor;
+  predictor.emplace(pp_config);
 
   NoveltyConfig ne_config;
   ne_config.backbone = config_.backbone;
   ne_config.vocab_size = tokenizer.vocab_size();
   ne_config.prefix_cache_bytes = cache_bytes;
   ne_config.seed = DeriveSeed(config_.seed, 23);
-  NoveltyEstimator novelty(ne_config);
+  std::optional<NoveltyEstimator> novelty;
+  novelty.emplace(ne_config);
 
   std::unique_ptr<CascadePolicy> policy = MakePolicy(config_);
   PrioritizedReplayBuffer buffer(config_.memory_size);
 
-  // Baseline downstream score of the untouched dataset. This score anchors
-  // every later degradation fallback, so a non-finite baseline is the one
-  // component failure the run cannot absorb — it surfaces as a Status.
-  {
+  // Cross-episode state, hoisted into a struct so it can be snapshotted at
+  // episode boundaries and restored on resume (core/checkpoint.h).
+  EngineRunState rs;
+  rs.prediction_history.resize(config_.steps_per_episode);
+  rs.novelty_history.resize(config_.steps_per_episode);
+
+  auto checkpoint_context = [&]() {
+    EngineCheckpointContext ctx;
+    ctx.rng = &rng;
+    ctx.policy = policy.get();
+    ctx.buffer = &buffer;
+    ctx.predictor = &*predictor;
+    ctx.novelty = &*novelty;
+    ctx.run_state = &rs;
+    ctx.result = &result;
+    return ctx;
+  };
+
+  // --- Resume: restore the last episode-boundary snapshot, if any. ---
+  if (config_.resume) {
+    Status restored = RestoreEngineState(config_.checkpoint_path, config_,
+                                         checkpoint_context());
+    if (restored.ok()) {
+      result.resumed = true;
+      FASTFT_LOG(Info) << "resumed '" << dataset.name << "' from '"
+                       << config_.checkpoint_path << "' at episode "
+                       << rs.next_episode;
+    } else if (restored.code() == StatusCode::kNotFound) {
+      FASTFT_LOG(Info) << "no checkpoint at '" << config_.checkpoint_path
+                       << "'; starting fresh";
+    } else {
+      // Corrupted / mismatched checkpoints degrade to a fresh run. A failed
+      // restore leaves components partially overwritten, so every one of
+      // them is rebuilt from the seed.
+      FASTFT_LOG(Warning) << "checkpoint restore from '"
+                          << config_.checkpoint_path
+                          << "' failed: " << restored.ToString()
+                          << "; starting fresh";
+      rng = Rng(config_.seed);
+      policy = MakePolicy(config_);
+      buffer = PrioritizedReplayBuffer(config_.memory_size);
+      predictor.emplace(pp_config);
+      novelty.emplace(ne_config);
+      result = EngineResult{};
+      rs = EngineRunState{};
+      rs.prediction_history.resize(config_.steps_per_episode);
+      rs.novelty_history.resize(config_.steps_per_episode);
+    }
+  }
+
+  bool interrupted = deadline.Expired();
+
+  if (!result.resumed && !interrupted) {
+    // Baseline downstream score of the untouched dataset. This score anchors
+    // every later degradation fallback, so a non-finite baseline is the one
+    // component failure the run cannot absorb — it surfaces as a Status
+    // (unless the budget expired mid-baseline, which is an interruption,
+    // not an error). A resumed run restored its baseline from the snapshot.
     ScopedTimer timer(&result.times, kEval);
     FASTFT_TRACE_SPAN("engine/evaluate");
     double base = evaluator.Evaluate(dataset);
@@ -315,50 +399,90 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
     Metrics().downstream_evaluations->Increment();
     if (FASTFT_FAULT_POINT("evaluator/base")) base = kNaN;
     if (!std::isfinite(base)) {
-      return Status::Internal(
-          "baseline downstream evaluation of '" + dataset.name +
-          "' returned a non-finite score; the run has no anchor to degrade "
-          "to (a NaN means every cross-validation fold was skipped — the "
-          "dataset is too small for " +
-          std::to_string(eval_config.folds) +
-          "-fold evaluation — otherwise check the labels and the evaluator "
-          "configuration)");
+      if (deadline.Expired()) {
+        interrupted = true;
+      } else {
+        return Status::Internal(
+            "baseline downstream evaluation of '" + dataset.name +
+            "' returned a non-finite score; the run has no anchor to degrade "
+            "to (a NaN means every cross-validation fold was skipped — the "
+            "dataset is too small for " +
+            std::to_string(eval_config.folds) +
+            "-fold evaluation — otherwise check the labels and the evaluator "
+            "configuration)");
+      }
+    } else {
+      result.base_score = base;
+      result.best_score = base;
+      result.best_dataset = dataset;
     }
-    result.base_score = base;
   }
-  result.best_score = result.base_score;
-  result.best_dataset = dataset;
 
+  // Aliases into the snapshotted run state; the loop body below reads and
+  // writes them exactly as the plain locals they used to be.
+  //
   // Histories for percentile triggers and component training. Predicted
   // performance and novelty both grow systematically within an episode (the
   // token sequence lengthens every step), so percentiles are tracked *per
   // step index*: a step triggers when it is exceptional among steps at the
   // same position, not merely because it is late in its episode.
-  std::vector<SequenceRecord> sequence_records;  // downstream-scored only
-  std::vector<std::vector<double>> prediction_history(
-      config_.steps_per_episode);
-  std::vector<std::vector<double>> novelty_history(config_.steps_per_episode);
-  bool components_ready = false;
+  std::vector<SequenceRecord>& sequence_records = rs.sequence_records;
+  std::vector<std::vector<double>>& prediction_history = rs.prediction_history;
+  std::vector<std::vector<double>>& novelty_history = rs.novelty_history;
+  bool& components_ready = rs.components_ready;
   // Downstream-evaluation budget for the exploration phase: the percentile
   // triggers aim at evaluating the top α% + β% of steps, but with short
   // histories every record-breaking step would fire (P ≈ 1/(n+1) per step).
   // The cap enforces the intended rate at any run length.
-  int64_t warm_steps = 0;
-  int64_t warm_evals = 0;
+  int64_t& warm_steps = rs.warm_steps;
+  int64_t& warm_evals = rs.warm_evals;
   // Running mean of observed novelty scores: the Eq. 6 bonus is applied
   // *centered* so that only above-average novelty is reinforced. An
   // uncentered (always-positive) bonus uniformly inflates advantages and
   // collapses the softmax policy onto whatever it just did — the opposite
   // of exploration — before the critic can absorb the offset.
-  double novelty_mean = 0.0;
-  int64_t novelty_count = 0;
-
+  double& novelty_mean = rs.novelty_mean;
+  int64_t& novelty_count = rs.novelty_count;
   // Fig. 14 bookkeeping.
-  std::vector<std::vector<double>> embedding_history;
-  std::unordered_set<uint64_t> seen_expressions;
+  std::vector<std::vector<double>>& embedding_history = rs.embedding_history;
+  std::unordered_set<uint64_t>& seen_expressions = rs.seen_expressions;
+  int& global_step = rs.global_step;
 
-  int global_step = 0;
-  for (int episode = 0; episode < config_.episodes; ++episode) {
+  // One in-memory snapshot is kept at every episode boundary (pure
+  // serialization, no I/O); the disk write happens at the configured cadence
+  // and — via the final flush after the loop — whenever the run ends with a
+  // boundary state newer than what is on disk.
+  std::string last_snapshot;
+  bool snapshot_dirty = false;
+  auto write_checkpoint = [&]() {
+    if (last_snapshot.empty()) return;
+    ScopedTimer timer(&result.times, kCkpt);
+    FASTFT_TRACE_SPAN("engine/checkpoint_write");
+    // Kill sites for the chaos harness (tools/check_crash.sh): dying right
+    // before or right after the atomic write must both leave a resumable
+    // checkpoint on disk (the previous one, or this one).
+    (void)FASTFT_FAULT_POINT("checkpoint/before_write");
+    if (FASTFT_FAULT_POINT("checkpoint/write")) {
+      FASTFT_LOG(Warning)
+          << "injected checkpoint write fault; continuing without a snapshot";
+      return;
+    }
+    Status written = WriteCheckpoint(config_.checkpoint_path, last_snapshot);
+    if (written.ok()) {
+      snapshot_dirty = false;
+    } else {
+      FASTFT_LOG(Warning) << "checkpoint write to '" << config_.checkpoint_path
+                          << "' failed: " << written.ToString()
+                          << "; the run continues uncheckpointed";
+    }
+    (void)FASTFT_FAULT_POINT("checkpoint/after_write");
+  };
+
+  for (int episode = rs.next_episode; episode < config_.episodes; ++episode) {
+    if (deadline.Expired()) {
+      interrupted = true;
+      break;
+    }
     FASTFT_TRACE_SPAN("engine/episode");
     Metrics().episodes->Increment();
     space.Reset();
@@ -366,6 +490,10 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
     const bool cold = episode < config_.cold_start_episodes;
 
     for (int step = 0; step < config_.steps_per_episode; ++step) {
+      if (deadline.Expired()) {
+        interrupted = true;
+        break;
+      }
       FASTFT_TRACE_SPAN("engine/step");
       Metrics().steps->Increment();
       // Anneal random exploration toward strategy-driven selection.
@@ -439,7 +567,7 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
         FASTFT_TRACE_SPAN("engine/estimate");
         if (config_.use_performance_predictor &&
             !health.predictor.quarantined()) {
-          predicted = predictor.Predict(t.tokens);
+          predicted = predictor->Predict(t.tokens);
           ++result.predictor_estimations;
           Metrics().predictor_estimations->Increment();
           if (FASTFT_FAULT_POINT("predictor/predict")) predicted = kNaN;
@@ -451,7 +579,7 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
           }
         }
         if (config_.use_novelty && !health.novelty.quarantined()) {
-          novelty_score = novelty.NormalizedNovelty(t.tokens);
+          novelty_score = novelty->NormalizedNovelty(t.tokens);
           if (FASTFT_FAULT_POINT("novelty/estimate")) novelty_score = kNaN;
           if (!std::isfinite(novelty_score)) {
             health.RecordComponentFault(&health.novelty);
@@ -505,6 +633,14 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
         FASTFT_TRACE_SPAN("engine/evaluate");
         Dataset candidate = space.ToDataset();
         double measured = evaluate_candidates({&candidate})[0];
+        if (deadline.Expired()) {
+          // The deadline fired inside the batch: `measured` may cover only
+          // some folds (or none), which is NOT deterministic across thread
+          // counts. Discard it and stop at this boundary — resume replays
+          // the whole episode from the last snapshot.
+          interrupted = true;
+          break;
+        }
         if (!std::isfinite(measured)) {
           // Guard: drop the poisoned measurement and fall back to the
           // predicted value (or carry the previous performance). The
@@ -569,7 +705,7 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
       trace.novelty = novelty_score;
       if (config_.collect_novelty_metrics) {
         ScopedTimer timer(&result.times, kEst);
-        std::vector<double> embedding = novelty.TargetEmbedding(step_tokens);
+        std::vector<double> embedding = novelty->TargetEmbedding(step_tokens);
         // Fig. 14 sweep: distances to the history fan out over the pool;
         // the min-reduction runs here in input order, so the metric is
         // bit-identical to the serial scan at any thread count.
@@ -608,6 +744,10 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
       result.trace.push_back(std::move(trace));
       ++global_step;
     }
+    // Stop at the boundary: everything this episode wrote since the last
+    // snapshot is discarded (the snapshot below is NOT taken), so resume
+    // replays the episode deterministically from its start.
+    if (interrupted) break;
 
     // --- Component training / finetuning (Algorithms 1 & 2). ---
     if (episode == config_.cold_start_episodes - 1) {
@@ -615,7 +755,7 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
       FASTFT_TRACE_SPAN("engine/coldstart_train");
       Rng train_rng(DeriveSeed(config_.seed, 31));
       if (config_.use_performance_predictor) {
-        double mse = predictor.Fit(
+        double mse = predictor->Fit(
             sequence_records, config_.cold_start_train_epochs, &train_rng);
         if (FASTFT_FAULT_POINT("predictor/coldstart")) mse = kNaN;
         if (!std::isfinite(mse)) {
@@ -629,8 +769,8 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
         for (const SequenceRecord& r : sequence_records) {
           sequences.push_back(r.tokens);
         }
-        double loss = novelty.Fit(sequences, config_.cold_start_train_epochs,
-                                  &train_rng, est_threads);
+        double loss = novelty->Fit(sequences, config_.cold_start_train_epochs,
+                                   &train_rng, est_threads);
         if (FASTFT_FAULT_POINT("novelty/coldstart")) loss = kNaN;
         if (!std::isfinite(loss)) {
           health.RecordComponentFault(&health.novelty);
@@ -680,21 +820,43 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
       };
       if (config_.use_performance_predictor) {
         finetune_component(&health.predictor, "predictor/finetune",
-                           [&] { return predictor.Finetune(batch); });
+                           [&] { return predictor->Finetune(batch); });
       }
       if (config_.use_novelty) {
         finetune_component(&health.novelty, "novelty/finetune", [&] {
-          return novelty.Finetune(sequences, est_threads);
+          return novelty->Finetune(sequences, est_threads);
         });
       }
     }
 
     result.episode_best.push_back(result.best_score);
+
+    // --- Episode-boundary snapshot. ---
+    rs.next_episode = episode + 1;
+    if (!config_.checkpoint_path.empty()) {
+      {
+        ScopedTimer timer(&result.times, kCkpt);
+        FASTFT_TRACE_SPAN("engine/checkpoint_serialize");
+        last_snapshot = SerializeEngineState(config_, checkpoint_context(),
+                                             last_snapshot.size());
+      }
+      snapshot_dirty = true;
+      if ((episode + 1) % config_.checkpoint_every_episodes == 0) {
+        write_checkpoint();
+      }
+    }
   }
 
+  // Final flush: make sure the newest boundary state is on disk, whether the
+  // run completed (so it can be resumed with a longer horizon) or was
+  // interrupted mid-episode (so resume replays from the last boundary).
+  if (snapshot_dirty) write_checkpoint();
+
   result.total_steps = global_step;
-  result.estimation_cache = predictor.cache_stats();
-  result.estimation_cache.Merge(novelty.cache_stats());
+  result.interrupted = interrupted;
+  result.completed_episodes = rs.next_episode;
+  result.estimation_cache = predictor->cache_stats();
+  result.estimation_cache.Merge(novelty->cache_stats());
   if (config_.metrics) {
     result.metrics = obs::DeltaSnapshot(
         metrics_start, obs::MetricsRegistry::Global().Snapshot());

@@ -22,6 +22,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -131,6 +132,27 @@ struct EngineConfig {
   /// process-wide; this only gates the snapshot.
   bool metrics = true;
 
+  /// When non-empty, Run() snapshots its full state here (atomically: temp
+  /// file + fsync + rename) at episode boundaries. Checkpointing never
+  /// changes scores; it only adds the serialize/write wall clock.
+  std::string checkpoint_path;
+  /// Episode cadence of checkpoint writes (boundary state is also written
+  /// on deadline/cancellation regardless of cadence).
+  int checkpoint_every_episodes = 1;
+  /// Attempt to restore from checkpoint_path before running. A missing
+  /// file runs fresh silently; a corrupted or mismatched one runs fresh
+  /// with a logged warning. A resumed run converges to the bit-identical
+  /// final result of the uninterrupted run.
+  bool resume = false;
+  /// Cooperative wall-clock budget (0 = none). Checked at episode/step
+  /// boundaries and inside evaluator batches; on expiry the run stops at
+  /// the next boundary, writes a final checkpoint (when configured), and
+  /// returns a valid partial result with `interrupted` set.
+  int64_t wall_clock_budget_ms = 0;
+  /// Optional external kill switch, polled alongside the budget. The engine
+  /// holds a reference, so a controlling thread may flip it at any time.
+  std::shared_ptr<std::atomic<bool>> cancel_flag;
+
   uint64_t seed = 2024;
 };
 
@@ -172,6 +194,14 @@ struct EngineResult {
   /// Delta of the process-wide metrics registry over this run (counters,
   /// gauges, histograms) when EngineConfig::metrics is set; empty otherwise.
   obs::MetricsSnapshot metrics;
+  /// True when the run stopped early on the wall-clock budget or the
+  /// cancel flag; the result is then a valid partial report covering
+  /// `completed_episodes` episodes.
+  bool interrupted = false;
+  /// Episodes fully finished (== config.episodes on a complete run).
+  int completed_episodes = 0;
+  /// True when this run restored state from a checkpoint.
+  bool resumed = false;
 };
 
 /// Rejects configurations the engine cannot run (non-positive schedules,

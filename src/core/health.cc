@@ -84,4 +84,41 @@ std::string HealthReport::ToJson() const {
   return out.str();
 }
 
+void ComponentHealth::SaveState(common::BinaryWriter* writer) const {
+  writer->WriteU8(state == ComponentState::kQuarantined ? 1 : 0);
+  writer->WriteI64(faults);
+  writer->WriteI64(quarantines);
+  writer->WriteI64(recovery_attempts);
+  writer->WriteI64(recoveries);
+  writer->WriteI32(backoff_rounds);
+  writer->WriteI32(rounds_until_retry);
+}
+
+void ComponentHealth::LoadState(common::BinaryReader* reader) {
+  state = reader->ReadU8() != 0 ? ComponentState::kQuarantined
+                                : ComponentState::kHealthy;
+  faults = reader->ReadI64();
+  quarantines = reader->ReadI64();
+  recovery_attempts = reader->ReadI64();
+  recoveries = reader->ReadI64();
+  backoff_rounds = reader->ReadI32();
+  rounds_until_retry = reader->ReadI32();
+}
+
+void HealthReport::SaveState(common::BinaryWriter* writer) const {
+  predictor.SaveState(writer);
+  novelty.SaveState(writer);
+  writer->WriteI64(faults_observed);
+  writer->WriteI64(evaluator_faults);
+  writer->WriteI64(skipped_updates);
+}
+
+void HealthReport::LoadState(common::BinaryReader* reader) {
+  predictor.LoadState(reader);
+  novelty.LoadState(reader);
+  faults_observed = reader->ReadI64();
+  evaluator_faults = reader->ReadI64();
+  skipped_updates = reader->ReadI64();
+}
+
 }  // namespace fastft

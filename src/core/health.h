@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/serial.h"
+
 namespace fastft {
 
 enum class ComponentState { kHealthy, kQuarantined };
@@ -44,6 +46,11 @@ struct ComponentHealth {
   /// Advances the backoff countdown by one finetune round. Returns true
   /// when a recovery probe is due this round. No-op while healthy.
   bool TickBackoff();
+
+  /// Snapshots the ladder position (name excluded; it is identity, not
+  /// state) into a checkpoint payload.
+  void SaveState(common::BinaryWriter* writer) const;
+  void LoadState(common::BinaryReader* reader);
 };
 
 /// Aggregated fault/degradation counters for one engine run.
@@ -85,6 +92,10 @@ struct HealthReport {
 
   /// Compact single-line JSON object (embedded in the run report).
   std::string ToJson() const;
+
+  /// Snapshots both component ladders and the aggregate counters.
+  void SaveState(common::BinaryWriter* writer) const;
+  void LoadState(common::BinaryReader* reader);
 };
 
 }  // namespace fastft

@@ -164,4 +164,20 @@ nn::PrefixCacheStats NoveltyEstimator::cache_stats() const {
   return stats;
 }
 
+void NoveltyEstimator::SaveState(common::BinaryWriter* writer) {
+  target_.SaveState(writer);
+  estimator_.SaveState(writer);
+  writer->WriteDouble(running_mean_);
+  writer->WriteDouble(running_var_);
+  writer->WriteI64(observations_);
+}
+
+void NoveltyEstimator::LoadState(common::BinaryReader* reader) {
+  target_.LoadState(reader);
+  estimator_.LoadState(reader);
+  running_mean_ = reader->ReadDouble();
+  running_var_ = reader->ReadDouble();
+  observations_ = reader->ReadI64();
+}
+
 }  // namespace fastft

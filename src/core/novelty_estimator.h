@@ -86,6 +86,13 @@ class NoveltyEstimator {
   /// Combined prefix-cache counters of the target and estimator networks.
   nn::PrefixCacheStats cache_stats() const;
 
+  /// Embeds estimator weights/optimizer, the frozen target's weights (for
+  /// safety against any init drift), and the Welford running scale in a
+  /// checkpoint payload.
+  void SaveState(common::BinaryWriter* writer);
+  /// Restores a SaveState payload (same NoveltyConfig required).
+  void LoadState(common::BinaryReader* reader);
+
  private:
   void UpdateRunningScale(double raw);
   /// Folds one raw novelty into the running scale and returns the

@@ -69,6 +69,12 @@ class PerformancePredictor {
   Status Save(const std::string& path) { return model_.Save(path); }
   Status Load(const std::string& path) { return model_.Load(path); }
 
+  /// Embeds / restores weights + optimizer state in a checkpoint payload
+  /// (same PredictorConfig required; the model's prefix cache is
+  /// invalidated on load).
+  void SaveState(common::BinaryWriter* writer) { model_.SaveState(writer); }
+  void LoadState(common::BinaryReader* reader) { model_.LoadState(reader); }
+
   /// Counters of the inference prefix-state cache.
   nn::PrefixCacheStats cache_stats() const {
     return model_.prefix_cache_stats();

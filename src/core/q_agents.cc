@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "nn/serialization.h"
 
 namespace fastft {
 namespace {
@@ -208,6 +209,43 @@ double QCascade::TdError(const Transition& t) {
   std::vector<double> q =
       QValues(&head_, t.head_inputs, t.state, /*use_target=*/false);
   return NextStateTarget(t) - q[t.head_action];
+}
+
+namespace {
+
+std::vector<nn::Parameter*> NetParams(nn::Mlp* net) {
+  std::vector<nn::Parameter*> params;
+  net->CollectParams(&params);
+  return params;
+}
+
+}  // namespace
+
+void QCascade::SaveState(common::BinaryWriter* writer) {
+  QNet* nets[] = {&head_, &op_, &tail_};
+  for (QNet* net : nets) {
+    nn::SerializeParameters(NetParams(&net->online), writer);
+    nn::SerializeParameters(NetParams(&net->target), writer);
+    nn::SerializeParameters(NetParams(&net->value_online), writer);
+    nn::SerializeParameters(NetParams(&net->value_target), writer);
+    net->optimizer->SaveState(writer);
+    net->value_optimizer->SaveState(writer);
+  }
+  writer->WriteI32(updates_);
+}
+
+void QCascade::LoadState(common::BinaryReader* reader) {
+  QNet* nets[] = {&head_, &op_, &tail_};
+  for (QNet* net : nets) {
+    nn::DeserializeParameters(reader, NetParams(&net->online));
+    nn::DeserializeParameters(reader, NetParams(&net->target));
+    nn::DeserializeParameters(reader, NetParams(&net->value_online));
+    nn::DeserializeParameters(reader, NetParams(&net->value_target));
+    net->optimizer->LoadState(reader);
+    net->value_optimizer->LoadState(reader);
+    if (!reader->ok()) return;
+  }
+  updates_ = reader->ReadI32();
 }
 
 }  // namespace fastft

@@ -42,6 +42,8 @@ class QCascade : public CascadePolicy {
   void SetExplorationRate(double epsilon) override {
     config_.epsilon = epsilon;
   }
+  void SaveState(common::BinaryWriter* writer) override;
+  void LoadState(common::BinaryReader* reader) override;
 
  private:
   /// One value head (candidate scorer or logits net) with its dueling value

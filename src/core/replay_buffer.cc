@@ -88,4 +88,98 @@ std::vector<int> PrioritizedReplayBuffer::UniformSampleIndices(
   return rng->SampleWithoutReplacement(size(), count);
 }
 
+namespace {
+
+// Transitions carry matrices of varying shape (head candidates grow and
+// shrink with the cluster count), so the shape is part of the payload and
+// the matrix is reconstructed rather than shape-checked.
+void WriteMatrix(const nn::Matrix& m, common::BinaryWriter* writer) {
+  writer->WriteU32(static_cast<uint32_t>(m.rows()));
+  writer->WriteU32(static_cast<uint32_t>(m.cols()));
+  writer->WriteBytes(m.data(), m.size() * sizeof(double));
+}
+
+nn::Matrix ReadMatrix(common::BinaryReader* reader) {
+  uint32_t rows = reader->ReadU32();
+  uint32_t cols = reader->ReadU32();
+  if (!reader->ok()) return nn::Matrix();
+  uint64_t count = static_cast<uint64_t>(rows) * cols;
+  if (count * sizeof(double) > reader->remaining()) {
+    reader->Fail("corrupted matrix shape " + std::to_string(rows) + "x" +
+                 std::to_string(cols) + " exceeds remaining payload");
+    return nn::Matrix();
+  }
+  nn::Matrix m(static_cast<int>(rows), static_cast<int>(cols));
+  reader->ReadRaw(m.data(), m.size() * sizeof(double));
+  return m;
+}
+
+}  // namespace
+
+void PrioritizedReplayBuffer::SaveState(common::BinaryWriter* writer) const {
+  writer->WriteU32(static_cast<uint32_t>(capacity_));
+  writer->WriteU32(static_cast<uint32_t>(items_.size()));
+  writer->WriteU32(static_cast<uint32_t>(next_slot_));
+  for (const Transition& t : items_) {
+    WriteMatrix(t.head_inputs, writer);
+    writer->WriteI32(t.head_action);
+    WriteMatrix(t.op_input, writer);
+    writer->WriteI32(t.op_action);
+    WriteMatrix(t.tail_inputs, writer);
+    writer->WriteI32(t.tail_action);
+    writer->WriteVecDouble(t.state);
+    writer->WriteVecDouble(t.next_state);
+    WriteMatrix(t.next_head_inputs, writer);
+    writer->WriteDouble(t.reward);
+    writer->WriteVecInt(t.tokens);
+    writer->WriteDouble(t.performance);
+  }
+  writer->WriteVecDouble(priorities_);
+}
+
+void PrioritizedReplayBuffer::LoadState(common::BinaryReader* reader) {
+  uint32_t capacity = reader->ReadU32();
+  uint32_t count = reader->ReadU32();
+  uint32_t next_slot = reader->ReadU32();
+  if (!reader->ok()) return;
+  if (static_cast<int>(capacity) != capacity_) {
+    reader->Fail("replay-buffer capacity mismatch: payload " +
+                 std::to_string(capacity) + ", buffer " +
+                 std::to_string(capacity_));
+    return;
+  }
+  if (count > capacity || next_slot >= std::max(capacity, 1u)) {
+    reader->Fail("corrupted replay-buffer cursor/size");
+    return;
+  }
+  std::vector<Transition> items;
+  items.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Transition t;
+    t.head_inputs = ReadMatrix(reader);
+    t.head_action = reader->ReadI32();
+    t.op_input = ReadMatrix(reader);
+    t.op_action = reader->ReadI32();
+    t.tail_inputs = ReadMatrix(reader);
+    t.tail_action = reader->ReadI32();
+    t.state = reader->ReadVecDouble();
+    t.next_state = reader->ReadVecDouble();
+    t.next_head_inputs = ReadMatrix(reader);
+    t.reward = reader->ReadDouble();
+    t.tokens = reader->ReadVecInt();
+    t.performance = reader->ReadDouble();
+    if (!reader->ok()) return;
+    items.push_back(std::move(t));
+  }
+  std::vector<double> priorities = reader->ReadVecDouble();
+  if (!reader->ok()) return;
+  if (priorities.size() != items.size()) {
+    reader->Fail("replay-buffer priority count mismatch");
+    return;
+  }
+  items_ = std::move(items);
+  priorities_ = std::move(priorities);
+  next_slot_ = static_cast<int>(next_slot);
+}
+
 }  // namespace fastft

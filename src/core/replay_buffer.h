@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "common/serial.h"
 #include "nn/matrix.h"
 
 namespace fastft {
@@ -62,6 +63,11 @@ class PrioritizedReplayBuffer {
   /// Uniform sample of up to `count` distinct indices (evaluation-component
   /// finetuning draws uniformly per Algorithms 1-2).
   std::vector<int> UniformSampleIndices(int count, Rng* rng) const;
+
+  /// Snapshots contents, priorities, and the ring cursor.
+  void SaveState(common::BinaryWriter* writer) const;
+  /// Restores a SaveState payload; the buffer's capacity must match.
+  void LoadState(common::BinaryReader* reader);
 
  private:
   int capacity_;

@@ -2,10 +2,10 @@
 
 #include <cmath>
 #include <cstdio>
-#include <fstream>
 #include <sstream>
 
 #include "common/fault.h"
+#include "common/fs.h"
 
 namespace fastft {
 namespace {
@@ -146,12 +146,12 @@ std::string RunReportJson(const Dataset& original,
 
 Status WriteRunReport(const Dataset& original, const EngineResult& result,
                       const std::string& path) {
-  std::ofstream out(path);
-  if (!out || FASTFT_FAULT_POINT("report/write")) {
+  if (FASTFT_FAULT_POINT("report/write")) {
     return Status::IOError("cannot open " + path + " for writing");
   }
-  out << RunReportJson(original, result);
-  return out.good() ? Status::OK() : Status::IOError("write failed: " + path);
+  // Atomic (temp file + fsync + rename): a crash mid-export never leaves a
+  // truncated report behind a valid-looking path.
+  return common::AtomicWriteFile(path, RunReportJson(original, result));
 }
 
 }  // namespace fastft

@@ -136,6 +136,10 @@ double Evaluator::Evaluate(const Dataset& dataset, Metric metric) const {
   std::vector<char> fold_used(folds.size(), 0);
   auto score_fold = [&](int64_t k) {
     FASTFT_TRACE_SPAN("evaluator/fold");
+    // Cooperative cancellation: a fold skipped on deadline leaves
+    // fold_used[k] == 0, so the reduction yields NaN and the caller (which
+    // must re-check the deadline) discards the score.
+    if (config_.deadline != nullptr && config_.deadline->Expired()) return;
     TrainTestData data = MaterializeSplit(dataset, folds[k]);
     if (data.train.NumRows() < 2 || data.test.NumRows() < 1) {
       Metrics().folds_skipped->Increment();
@@ -175,13 +179,22 @@ double Evaluator::Evaluate(const Dataset& dataset, Metric metric) const {
 std::vector<double> Evaluator::EvaluateBatch(
     const std::vector<const Dataset*>& datasets) const {
   FASTFT_TRACE_SPAN("evaluator/batch");
-  std::vector<double> scores(datasets.size(), 0.0);
+  // NaN-initialized so a candidate skipped on deadline cannot masquerade as
+  // a legitimate zero score.
+  std::vector<double> scores(datasets.size(),
+                             std::numeric_limits<double>::quiet_NaN());
   // Candidate-level fan-out; each candidate's fold loop then runs inline on
   // its worker (nested ParallelFor degrades to serial), so one batch never
   // oversubscribes the pool.
   common::ParallelFor(0, static_cast<int64_t>(datasets.size()),
                       common::ResolveThreadCount(config_.num_threads),
-                      [&](int64_t i) { scores[i] = Evaluate(*datasets[i]); });
+                      [&](int64_t i) {
+                        if (config_.deadline != nullptr &&
+                            config_.deadline->Expired()) {
+                          return;
+                        }
+                        scores[i] = Evaluate(*datasets[i]);
+                      });
   return scores;
 }
 

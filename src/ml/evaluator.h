@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/cancel.h"
 #include "data/dataset.h"
 #include "ml/metrics.h"
 #include "ml/model.h"
@@ -53,6 +54,12 @@ struct EvaluatorConfig {
   /// 1 = serial, 0 = all hardware threads. Nested under fold-level
   /// parallelism the forest fit runs inline.
   int forest_threads = 1;
+  /// Optional cooperative deadline (borrowed; may be null). When expired,
+  /// remaining folds/candidates are skipped: Evaluate returns NaN for the
+  /// skipped work instead of blocking until completion. Callers that see the
+  /// deadline expired must discard the batch — partially-skipped scores are
+  /// NOT deterministic across thread counts.
+  const common::DeadlineToken* deadline = nullptr;
   uint64_t seed = 100;
 };
 

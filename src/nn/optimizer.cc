@@ -57,6 +57,44 @@ void AdamOptimizer::Step() {
   }
 }
 
+void AdamOptimizer::SaveState(common::BinaryWriter* writer) const {
+  writer->WriteI64(t_);
+  writer->WriteU32(static_cast<uint32_t>(m_.size()));
+  for (size_t i = 0; i < m_.size(); ++i) {
+    writer->WriteVecDouble(m_[i]);
+    writer->WriteVecDouble(v_[i]);
+  }
+}
+
+void AdamOptimizer::LoadState(common::BinaryReader* reader) {
+  int64_t t = reader->ReadI64();
+  uint32_t count = reader->ReadU32();
+  if (!reader->ok()) return;
+  if (count != params_.size()) {
+    reader->Fail("optimizer payload holds " + std::to_string(count) +
+                 " moment slots, optimizer has " +
+                 std::to_string(params_.size()));
+    return;
+  }
+  std::vector<std::vector<double>> m, v;
+  m.reserve(count);
+  v.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    m.push_back(reader->ReadVecDouble());
+    v.push_back(reader->ReadVecDouble());
+    if (!reader->ok()) return;
+    if (m.back().size() != params_[i]->size() ||
+        v.back().size() != params_[i]->size()) {
+      reader->Fail("optimizer moment size mismatch at slot " +
+                   std::to_string(i));
+      return;
+    }
+  }
+  t_ = t;
+  m_ = std::move(m);
+  v_ = std::move(v);
+}
+
 void SgdOptimizer::Step() {
   for (Parameter* p : params_) {
     double* value = p->value.data();

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/serial.h"
 #include "nn/matrix.h"
 
 namespace fastft {
@@ -29,6 +30,14 @@ class AdamOptimizer {
   void set_learning_rate(double lr) { lr_ = lr; }
   double learning_rate() const { return lr_; }
   const std::vector<Parameter*>& params() const { return params_; }
+
+  /// Snapshots the moment estimates and step count (not the parameters
+  /// themselves) so a resumed run's Adam bias correction and momentum are
+  /// bit-identical to the uninterrupted run's.
+  void SaveState(common::BinaryWriter* writer) const;
+  /// Restores a SaveState payload; moment shapes must match this
+  /// optimizer's parameters or the reader fails.
+  void LoadState(common::BinaryReader* reader);
 
  private:
   std::vector<Parameter*> params_;

@@ -219,6 +219,19 @@ std::vector<Parameter*> SequenceModel::Params() {
   return params;
 }
 
+void SequenceModel::SaveState(common::BinaryWriter* writer) {
+  SerializeParameters(Params(), writer);
+  optimizer_->SaveState(writer);
+  writer->WriteI64(non_finite_skips_);
+}
+
+void SequenceModel::LoadState(common::BinaryReader* reader) {
+  DeserializeParameters(reader, Params());
+  optimizer_->LoadState(reader);
+  non_finite_skips_ = reader->ReadI64();
+  prefix_cache_.Invalidate();
+}
+
 size_t SequenceModel::ParameterBytes() const {
   size_t bytes = static_cast<size_t>(config_.vocab_size) *
                  config_.embed_dim * sizeof(double);

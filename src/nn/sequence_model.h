@@ -101,6 +101,14 @@ class SequenceModel {
     return status;
   }
 
+  /// Embeds weights, optimizer moments, and the non-finite-skip counter in
+  /// a snapshot payload (architecture is NOT written; the restoring model
+  /// must be constructed with the identical config).
+  void SaveState(common::BinaryWriter* writer);
+  /// Restores a SaveState payload; shape mismatches fail the reader. The
+  /// prefix-state cache is invalidated (cached states encode old weights).
+  void LoadState(common::BinaryReader* reader);
+
   /// Counters of the inference prefix-state cache.
   PrefixCacheStats prefix_cache_stats() const { return prefix_cache_.stats(); }
 

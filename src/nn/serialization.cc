@@ -2,7 +2,8 @@
 
 #include <cstdint>
 #include <cstring>
-#include <fstream>
+
+#include "common/fs.h"
 
 namespace fastft {
 namespace nn {
@@ -11,68 +12,76 @@ namespace {
 constexpr char kMagic[4] = {'F', 'F', 'T', 'W'};
 constexpr uint32_t kVersion = 1;
 
-void WriteU32(std::ofstream& out, uint32_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-
-bool ReadU32(std::ifstream& in, uint32_t* v) {
-  in.read(reinterpret_cast<char*>(v), sizeof(*v));
-  return in.good();
-}
-
 }  // namespace
+
+void SerializeMatrix(const Matrix& m, common::BinaryWriter* writer) {
+  writer->WriteU32(static_cast<uint32_t>(m.rows()));
+  writer->WriteU32(static_cast<uint32_t>(m.cols()));
+  writer->WriteBytes(m.data(), m.size() * sizeof(double));
+}
+
+void DeserializeMatrix(common::BinaryReader* reader, Matrix* m) {
+  uint32_t rows = reader->ReadU32();
+  uint32_t cols = reader->ReadU32();
+  if (!reader->ok()) return;
+  if (static_cast<int>(rows) != m->rows() ||
+      static_cast<int>(cols) != m->cols()) {
+    reader->Fail("tensor shape mismatch: payload has " + std::to_string(rows) +
+                 "x" + std::to_string(cols) + ", destination expects " +
+                 std::to_string(m->rows()) + "x" + std::to_string(m->cols()));
+    return;
+  }
+  reader->ReadRaw(m->data(), m->size() * sizeof(double));
+}
+
+void SerializeParameters(const std::vector<Parameter*>& params,
+                         common::BinaryWriter* writer) {
+  writer->WriteU32(static_cast<uint32_t>(params.size()));
+  for (const Parameter* p : params) SerializeMatrix(p->value, writer);
+}
+
+void DeserializeParameters(common::BinaryReader* reader,
+                           const std::vector<Parameter*>& params) {
+  uint32_t count = reader->ReadU32();
+  if (!reader->ok()) return;
+  if (count != params.size()) {
+    reader->Fail("payload holds " + std::to_string(count) +
+                 " tensors, model has " + std::to_string(params.size()));
+    return;
+  }
+  for (Parameter* p : params) DeserializeMatrix(reader, &p->value);
+}
 
 Status SaveParameters(const std::vector<Parameter*>& params,
                       const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot open " + path + " for writing");
-  out.write(kMagic, sizeof(kMagic));
-  WriteU32(out, kVersion);
-  WriteU32(out, static_cast<uint32_t>(params.size()));
-  for (const Parameter* p : params) {
-    WriteU32(out, static_cast<uint32_t>(p->value.rows()));
-    WriteU32(out, static_cast<uint32_t>(p->value.cols()));
-    out.write(reinterpret_cast<const char*>(p->value.data()),
-              static_cast<std::streamsize>(p->value.size() * sizeof(double)));
-  }
-  if (!out.good()) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  common::BinaryWriter writer;
+  writer.WriteBytes(kMagic, sizeof(kMagic));
+  writer.WriteU32(kVersion);
+  SerializeParameters(params, &writer);
+  return common::AtomicWriteFile(path, writer.buffer());
 }
 
 Status LoadParameters(const std::vector<Parameter*>& params,
                       const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open " + path);
-  char magic[4];
-  in.read(magic, sizeof(magic));
-  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  std::string blob;
+  Status read = common::ReadFileToString(path, &blob);
+  if (!read.ok()) {
+    return Status::IOError("cannot open " + path + ": " + read.message());
+  }
+  if (blob.size() < sizeof(kMagic) ||
+      std::memcmp(blob.data(), kMagic, sizeof(kMagic)) != 0) {
     return Status::InvalidArgument(path + " is not a fastft weight file");
   }
-  uint32_t version = 0, count = 0;
-  if (!ReadU32(in, &version) || version != kVersion) {
+  common::BinaryReader reader(
+      std::string_view(blob).substr(sizeof(kMagic)));
+  uint32_t version = reader.ReadU32();
+  if (!reader.ok() || version != kVersion) {
     return Status::InvalidArgument("unsupported weight-file version");
   }
-  if (!ReadU32(in, &count) || count != params.size()) {
-    return Status::InvalidArgument(
-        "weight file holds " + std::to_string(count) + " tensors, model has " +
-        std::to_string(params.size()));
-  }
-  for (Parameter* p : params) {
-    uint32_t rows = 0, cols = 0;
-    if (!ReadU32(in, &rows) || !ReadU32(in, &cols)) {
-      return Status::IOError("truncated weight file: " + path);
-    }
-    if (static_cast<int>(rows) != p->value.rows() ||
-        static_cast<int>(cols) != p->value.cols()) {
-      return Status::InvalidArgument(
-          "tensor shape mismatch: file has " + std::to_string(rows) + "x" +
-          std::to_string(cols) + ", model expects " +
-          std::to_string(p->value.rows()) + "x" +
-          std::to_string(p->value.cols()));
-    }
-    in.read(reinterpret_cast<char*>(p->value.data()),
-            static_cast<std::streamsize>(p->value.size() * sizeof(double)));
-    if (!in.good()) return Status::IOError("truncated weight file: " + path);
+  DeserializeParameters(&reader, params);
+  if (!reader.ok()) {
+    return Status::InvalidArgument("weight file " + path + ": " +
+                                   reader.status().message());
   }
   return Status::OK();
 }

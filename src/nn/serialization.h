@@ -4,19 +4,26 @@
 // per tensor {uint32 rows, uint32 cols, rows*cols little-endian doubles}.
 // Loading is shape-checked against the destination parameters, so a file
 // can only be restored into a model with the identical architecture.
+//
+// The same payload layout is exposed in-memory (Serialize/Deserialize on a
+// BinaryWriter/BinaryReader) so the checkpoint subsystem can embed model
+// weights inside a larger snapshot; the file functions wrap it in the FFTW
+// envelope and write through AtomicWriteFile so a crash mid-save never
+// leaves a truncated weight file.
 
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "common/serial.h"
 #include "common/status.h"
 #include "nn/matrix.h"
 
 namespace fastft {
 namespace nn {
 
-/// Writes the parameter values (not gradients) to `path`.
+/// Writes the parameter values (not gradients) to `path` atomically.
 Status SaveParameters(const std::vector<Parameter*>& params,
                       const std::string& path);
 
@@ -24,6 +31,21 @@ Status SaveParameters(const std::vector<Parameter*>& params,
 Status LoadParameters(const std::vector<Parameter*>& params,
                       const std::string& path);
 
+/// Appends one matrix as {u32 rows, u32 cols, doubles} to the writer.
+void SerializeMatrix(const Matrix& m, common::BinaryWriter* writer);
+
+/// Reads a matrix written by SerializeMatrix into `m`, which must already
+/// have the expected shape; shape mismatch fails the reader.
+void DeserializeMatrix(common::BinaryReader* reader, Matrix* m);
+
+/// Appends {u32 count, tensors...} — the FFTW payload without its envelope.
+void SerializeParameters(const std::vector<Parameter*>& params,
+                         common::BinaryWriter* writer);
+
+/// Restores values written by SerializeParameters; count and every tensor
+/// shape must match the destination parameters (gradients untouched).
+void DeserializeParameters(common::BinaryReader* reader,
+                           const std::vector<Parameter*>& params);
+
 }  // namespace nn
 }  // namespace fastft
-

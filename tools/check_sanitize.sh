@@ -17,7 +17,11 @@
 # (estimation_path_test's BatchScoring / EngineEstimation suites), which
 # fan Predict/Novelty inference over the shared pool. It finishes with
 # tools/check_trace.sh against the sanitized CLI, so a full traced engine
-# run (span rings + metrics registry) executes under the race detector.
+# run (span rings + metrics registry) executes under the race detector,
+# and tools/check_crash.sh, so kill-and-resume checkpointing (atomic
+# writes, restore paths, threaded resume) is exercised under TSan too.
+# (Every leg's ctest pass already includes the `check_crash` case against
+# that tree's sanitized CLI.)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -48,6 +52,8 @@ for SAN in "${SANITIZERS[@]}"; do
         -R 'BatchScoring|EngineEstimation')
     echo "=== thread leg: traced CLI run (check_trace.sh) ==="
     tools/check_trace.sh "${BUILD_DIR}/tools/fastft"
+    echo "=== thread leg: kill-and-resume chaos harness (check_crash.sh) ==="
+    tools/check_crash.sh "${BUILD_DIR}/tools/fastft"
   fi
 done
 

@@ -26,13 +26,28 @@
 //   trace-event export of the run — load in Perfetto or chrome://tracing)
 //   and --metrics-out metrics.json (the run's counter/histogram snapshot).
 //   Neither changes scores: observability only reads clocks and counts.
+//
+//   Crash safety (transform and benchmark):
+//     --checkpoint-dir DIR    snapshot engine state to DIR/fastft.ckpt at
+//                             every episode boundary (atomic write)
+//     --checkpoint-every N    write cadence in episodes (default 1)
+//     --resume 1              restore from the checkpoint before running; a
+//                             killed run resumed this way converges to the
+//                             bit-identical result of an uninterrupted run
+//     --budget-ms N           cooperative wall-clock budget; on expiry the
+//                             run stops at a step boundary, writes a final
+//                             checkpoint, and still emits its reports
+//     --chaos-kill SPEC       test hook for tools/check_crash.sh: SPEC is
+//                             "site:hit[:abort]" — the process dies the
+//                             hit-th time the fault site is reached
 
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <map>
 #include <string>
 
+#include "common/fault.h"
+#include "common/fs.h"
 #include "core/engine.h"
 #include "core/expression_parser.h"
 #include "core/run_report.h"
@@ -81,7 +96,10 @@ int Usage() {
                "[--label <col>] [--output out.csv]\n"
                "  fastft benchmark --dataset \"<zoo name>\" [--episodes N] "
                "[--seed S] [--threads N] [--trace-out trace.json] "
-               "[--metrics-out metrics.json]\n");
+               "[--metrics-out metrics.json] [--report report.json]\n"
+               "crash safety (transform and benchmark):\n"
+               "  [--checkpoint-dir DIR] [--checkpoint-every N] [--resume 1] "
+               "[--budget-ms N] [--chaos-kill site:hit[:abort]]\n");
   return 2;
 }
 
@@ -116,7 +134,53 @@ EngineConfig ConfigFromArgs(const Args& args) {
   config.trace_path = args.Get("trace-out");
   config.trace_ring_capacity =
       args.GetInt("trace-ring-capacity", config.trace_ring_capacity);
+  if (args.Has("checkpoint-dir")) {
+    config.checkpoint_path = args.Get("checkpoint-dir") + "/fastft.ckpt";
+  }
+  config.checkpoint_every_episodes =
+      args.GetInt("checkpoint-every", config.checkpoint_every_episodes);
+  config.resume = args.GetInt("resume", 0) != 0;
+  config.wall_clock_budget_ms = args.GetInt("budget-ms", 0);
   return config;
+}
+
+// Arms the deterministic process-kill chaos hook from a "site:hit[:abort]"
+// spec (e.g. "checkpoint/after_write:2"): the process dies the hit-th time
+// the fault site is reached. Driven by tools/check_crash.sh.
+bool ArmChaosKill(const std::string& spec) {
+  size_t first = spec.find(':');
+  if (first == std::string::npos || first == 0) return false;
+  std::string site = spec.substr(0, first);
+  std::string rest = spec.substr(first + 1);
+  KillMode mode = KillMode::kExit;
+  size_t second = rest.find(':');
+  if (second != std::string::npos) {
+    std::string tail = rest.substr(second + 1);
+    if (tail == "abort") {
+      mode = KillMode::kAbort;
+    } else if (tail != "exit") {
+      return false;
+    }
+    rest = rest.substr(0, second);
+  }
+  char* end = nullptr;
+  long hit = std::strtol(rest.c_str(), &end, 10);
+  if (rest.empty() || end == nullptr || *end != '\0' || hit < 0) return false;
+  FaultInjector::ArmKill({{site, hit}}, mode);
+  return true;
+}
+
+// Shared by transform and benchmark: validates --chaos-kill before the run.
+// Returns false (after printing the error) on a malformed spec.
+bool ArmChaosIfRequested(const Args& args) {
+  if (!args.Has("chaos-kill")) return true;
+  if (!ArmChaosKill(args.Get("chaos-kill"))) {
+    std::fprintf(stderr,
+                 "error: malformed --chaos-kill '%s' (want site:hit[:abort])\n",
+                 args.Get("chaos-kill").c_str());
+    return false;
+  }
+  return true;
 }
 
 // Writes the run's metrics snapshot when --metrics-out was given. Returns
@@ -124,10 +188,10 @@ EngineConfig ConfigFromArgs(const Args& args) {
 bool WriteMetricsIfRequested(const Args& args, const EngineResult& result) {
   if (!args.Has("metrics-out")) return true;
   const std::string path = args.Get("metrics-out");
-  std::ofstream out(path);
-  if (out) out << result.metrics.ToJson() << "\n";
-  if (!out || !out.good()) {
-    std::fprintf(stderr, "error: cannot write metrics to %s\n", path.c_str());
+  Status st = common::AtomicWriteFile(path, result.metrics.ToJson() + "\n");
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: cannot write metrics to %s: %s\n",
+                 path.c_str(), st.ToString().c_str());
     return false;
   }
   std::printf("wrote metrics snapshot to %s\n", path.c_str());
@@ -145,6 +209,11 @@ void PrintRunSummary(const Dataset& dataset, const EngineResult& result) {
   std::printf("time: evaluation %.2fs, estimation %.2fs, optimization %.2fs\n",
               result.times.Get("evaluation"), result.times.Get("estimation"),
               result.times.Get("optimization"));
+  if (result.resumed) std::printf("resumed from checkpoint\n");
+  if (result.interrupted) {
+    std::printf("interrupted: partial report covers %d completed episodes\n",
+                result.completed_episodes);
+  }
   if (result.health.degraded()) {
     std::printf("health: %lld faults, %lld skipped updates, %lld quarantines "
                 "(%lld recovered)\n",
@@ -170,6 +239,7 @@ int CmdTransform(const Args& args) {
   }
   Dataset dataset = std::move(loaded).ValueOrDie();
 
+  if (!ArmChaosIfRequested(args)) return 2;
   FastFtEngine engine(ConfigFromArgs(args));
   Result<EngineResult> run = engine.Run(dataset);
   if (!run.ok()) {
@@ -288,6 +358,7 @@ int CmdBenchmark(const Args& args) {
     return 1;
   }
   Dataset dataset = std::move(loaded).ValueOrDie();
+  if (!ArmChaosIfRequested(args)) return 2;
   FastFtEngine engine(ConfigFromArgs(args));
   Result<EngineResult> run = engine.Run(dataset);
   if (!run.ok()) {
@@ -297,6 +368,14 @@ int CmdBenchmark(const Args& args) {
   EngineResult result = std::move(run).ValueOrDie();
   PrintRunSummary(dataset, result);
   if (!WriteMetricsIfRequested(args, result)) return 1;
+  if (args.Has("report")) {
+    Status st = WriteRunReport(dataset, result, args.Get("report"));
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote JSON run report to %s\n", args.Get("report").c_str());
+  }
   std::printf("\ntop generated features:\n");
   int shown = 0;
   for (int c = dataset.NumFeatures();
