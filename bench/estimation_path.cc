@@ -16,6 +16,7 @@
 
 #include "bench_util.h"
 #include "common/rng.h"
+#include "common/simd_kernels.h"
 #include "common/threadpool.h"
 #include "common/timer.h"
 #include "core/novelty_estimator.h"
@@ -133,6 +134,29 @@ int main_impl() {
               cache.HitRate(), cache.TokenReuseRate(), cache.lookups,
               cache.tokens_reused, cache.tokens_encoded);
 
+  // --- Layer 1b: SIMD on/off determinism. --------------------------------
+  // A third identically-seeded pair scores the same workload with the
+  // vector kernels disabled; the SIMD layer's bit-identity contract says
+  // the scores cannot move.
+  const bool simd_was_enabled = simd::Enabled();
+  simd::SetEnabled(false);
+  PerformancePredictor scalar_pred(pp_cached);
+  NoveltyEstimator scalar_nov(ne_cached);
+  double scalar_kernels_s = 0.0;
+  int64_t long_steps_scalar = 0;
+  std::vector<double> scalar_kernel_scores =
+      run_steps(&scalar_pred, &scalar_nov, &scalar_kernels_s,
+                &long_steps_scalar);
+  simd::SetEnabled(simd_was_enabled);
+  const bool simd_identical =
+      BitIdentical(scalar_kernel_scores, cached_scores);
+  const double simd_speedup =
+      cached_s > 0 ? scalar_kernels_s / cached_s : 0.0;
+  std::printf("simd (%s)   scalar-kernel %.3fs   vector-kernel %.3fs   "
+              "speedup %5.2fx   scores %s\n",
+              simd::ActiveBackend(), scalar_kernels_s, cached_s, simd_speedup,
+              simd_identical ? "bit-identical" : "DIFFER");
+
   // --- Layer 2: batched scoring fan-out (cache disabled). ----------------
   const int batch_size = bench::FullMode() ? 96 : 48;
   std::vector<std::vector<int>> batch;
@@ -185,15 +209,24 @@ int main_impl() {
               "\"batch\": {\"size\": %d, \"threads\": %d, "
               "\"serial_s\": %.4f, \"parallel_s\": %.4f, "
               "\"speedup\": %.3f}, "
+              "\"simd\": {\"backend\": \"%s\", \"scalar_kernel_s\": %.4f, "
+              "\"speedup\": %.3f, \"bit_identical\": %s}, "
               "\"bit_identical\": %s}\n",
               long_steps, us_scratch, us_cached, step_speedup,
               cache.HitRate(), cache.TokenReuseRate(), batch_size, kThreads,
               batch_serial_s, batch_parallel_s, batch_speedup,
-              (step_identical && batch_identical) ? "true" : "false");
+              simd::ActiveBackend(), scalar_kernels_s, simd_speedup,
+              simd_identical ? "true" : "false",
+              (step_identical && batch_identical && simd_identical)
+                  ? "true"
+                  : "false");
 
   bench::ShapeCheck(step_identical && batch_identical,
                     "cached and batched estimation reproduces serial "
                     "from-scratch scores bit for bit");
+  bench::ShapeCheck(simd_identical,
+                    "vector kernels reproduce scalar-kernel scores bit for "
+                    "bit (FASTFT_SIMD on vs off)");
   bench::ShapeCheck(step_speedup >= 2.0,
                     "prefix cache >= 2x per-step estimation speedup for "
                     "sequences >= " + std::to_string(kLongStep) + " tokens");
@@ -207,7 +240,7 @@ int main_impl() {
                 "threads (this host has %d; determinism still asserted)\n",
                 hardware);
   }
-  return (step_identical && batch_identical) ? 0 : 1;
+  return (step_identical && batch_identical && simd_identical) ? 0 : 1;
 }
 
 }  // namespace

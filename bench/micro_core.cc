@@ -2,10 +2,26 @@
 // primitives: operation application, MI estimation, clustering, state
 // representation, predictor inference, and — the paper's central contrast —
 // one predictor forward pass vs. one full downstream evaluation.
+//
+// Before the google-benchmark suite runs, a per-kernel scalar-vs-SIMD gate
+// times every simd_kernels entry point at representative shapes, asserts the
+// outputs are bit-identical, and persists the speedups to BENCH_kernels.json
+// (atomic write, beside BENCH_robustness.json) so the kernel perf trajectory
+// is machine-checkable across PRs.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/fs.h"
 #include "common/rng.h"
+#include "common/simd_kernels.h"
+#include "common/timer.h"
 #include "core/clustering.h"
 #include "core/mutual_information.h"
 #include "core/performance_predictor.h"
@@ -15,6 +31,166 @@
 
 namespace fastft {
 namespace {
+
+// --- Scalar-vs-SIMD kernel gate -------------------------------------------
+
+std::vector<double> GateVec(int n, Rng* rng) {
+  std::vector<double> v(n);
+  for (double& x : v) x = rng->Normal(0.0, 1.0);
+  return v;
+}
+
+/// Best-of-5 wall time of `reps` back-to-back kernel invocations.
+template <typename Fn>
+double TimeKernel(int reps, const Fn& fn) {
+  double best = 1e300;
+  for (int trial = 0; trial < 5; ++trial) {
+    WallTimer timer;
+    for (int r = 0; r < reps; ++r) fn();
+    best = std::min(best, timer.Seconds());
+  }
+  return best;
+}
+
+struct KernelResult {
+  const char* name;
+  bool matmul_family;  // the kernels under the >= 2x acceptance gate
+  double scalar_s = 0.0;
+  double simd_s = 0.0;
+  bool identical = false;
+
+  double Speedup() const { return simd_s > 0.0 ? scalar_s / simd_s : 0.0; }
+};
+
+/// Runs `fn` (which writes into `out`) under both backends, records the
+/// timings, and checks the two outputs bit for bit.
+template <typename Fn>
+KernelResult RunKernelGate(const char* name, bool matmul_family, int reps,
+                           std::vector<double>* out, const Fn& fn) {
+  KernelResult result{name, matmul_family};
+  simd::SetEnabled(false);
+  fn();
+  std::vector<double> scalar_out = *out;
+  result.scalar_s = TimeKernel(reps, fn);
+  simd::SetEnabled(true);
+  fn();
+  result.identical = (*out == scalar_out);
+  result.simd_s = TimeKernel(reps, fn);
+  return result;
+}
+
+/// Times every simd_kernels entry point scalar-vs-vector, persists
+/// BENCH_kernels.json, and returns 0 iff every pair was bit-identical.
+int KernelGate() {
+  bench::PrintTitle("SIMD kernel gate (scalar vs " +
+                    std::string(simd::VectorBackendAvailable()
+                                    ? simd::ActiveBackend()
+                                    : "none") +
+                    ")");
+  Rng rng(77);
+  // Representative shapes: the predictor's LSTM works on hidden 32 →
+  // W (128 x 64); batch forward passes run ~100-row activations against
+  // 64-wide layers.
+  const int m = 96, kdim = 64, n = 64;
+  const int mv_rows = 128, mv_cols = 64;
+  const int vec_n = 4096;
+
+  std::vector<double> a = GateVec(m * kdim, &rng);
+  std::vector<double> b = GateVec(kdim * n, &rng);
+  std::vector<double> at = GateVec(kdim * m, &rng);   // (kdim x m)
+  std::vector<double> bt = GateVec(n * kdim, &rng);   // (n x kdim)
+  std::vector<double> w = GateVec(mv_rows * mv_cols, &rng);
+  std::vector<double> bias = GateVec(mv_rows, &rng);
+  std::vector<double> z = GateVec(mv_cols, &rng);
+  std::vector<double> x = GateVec(vec_n, &rng);
+  std::vector<double> y = GateVec(vec_n, &rng);
+  std::vector<double> out(static_cast<size_t>(m) * n);
+  std::vector<double> small_out(std::max(mv_rows, vec_n));
+
+  std::vector<KernelResult> results;
+  results.push_back(RunKernelGate("matmul", true, 200, &out, [&] {
+    simd::MatMul(a.data(), b.data(), out.data(), m, kdim, n);
+  }));
+  results.push_back(RunKernelGate("transpose_matmul", true, 200, &out, [&] {
+    simd::TransposeMatMul(at.data(), b.data(), out.data(), m, kdim, n,
+                          /*accumulate=*/false);
+  }));
+  results.push_back(RunKernelGate("matmul_transpose", true, 200, &out, [&] {
+    simd::MatMulTranspose(a.data(), bt.data(), out.data(), m, kdim, n);
+  }));
+  results.push_back(RunKernelGate("matvec", false, 4000, &small_out, [&] {
+    simd::MatVec(w.data(), bias.data(), z.data(), small_out.data(), mv_rows,
+                 mv_cols);
+  }));
+  results.push_back(RunKernelGate("axpy", false, 8000, &small_out, [&] {
+    std::fill(small_out.begin(), small_out.end(), 0.0);
+    simd::Axpy(1.25, x.data(), small_out.data(), vec_n);
+  }));
+  results.push_back(RunKernelGate("dot", false, 8000, &small_out, [&] {
+    small_out[0] = simd::Dot(x.data(), y.data(), vec_n);
+  }));
+  results.push_back(RunKernelGate("sum_and_sumsq", false, 8000, &small_out,
+                                  [&] {
+    simd::SumAndSumSq(x.data(), vec_n, &small_out[0], &small_out[1]);
+  }));
+  simd::SetEnabled(true);
+
+  bool all_identical = true;
+  for (const KernelResult& r : results) {
+    all_identical = all_identical && r.identical;
+    std::printf("%-18s scalar %8.3f ms   simd %8.3f ms   speedup %5.2fx   %s\n",
+                r.name, 1e3 * r.scalar_s, 1e3 * r.simd_s, r.Speedup(),
+                r.identical ? "bit-identical" : "DIFFER");
+  }
+
+  const bool vector_available = simd::VectorBackendAvailable();
+  bool matmul_gate = true;
+  for (const KernelResult& r : results) {
+    if (r.matmul_family) matmul_gate = matmul_gate && r.Speedup() >= 2.0;
+  }
+  bench::ShapeCheck(all_identical,
+                    "every kernel is bit-identical scalar vs SIMD");
+  if (vector_available) {
+    bench::ShapeCheck(matmul_gate,
+                      "MatMul-family kernels >= 2x with FASTFT_SIMD=ON at "
+                      "representative shapes");
+  } else {
+    std::printf("paper-shape check: [SKIP] >= 2x gate needs a vector backend "
+                "(this build/host runs scalar only)\n");
+  }
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"micro_core_kernels\",\n";
+  json << "  \"backend\": \"" << simd::ActiveBackend() << "\",\n";
+  json << "  \"shapes\": {\"matmul\": [" << m << ", " << kdim << ", " << n
+       << "], \"matvec\": [" << mv_rows << ", " << mv_cols
+       << "], \"vector_n\": " << vec_n << "},\n";
+  json << "  \"kernels\": {\n";
+  bool first = true;
+  for (const KernelResult& r : results) {
+    json << (first ? "" : ",\n") << "    \"" << r.name << "\": {"
+         << "\"scalar_ms\": " << 1e3 * r.scalar_s
+         << ", \"simd_ms\": " << 1e3 * r.simd_s
+         << ", \"speedup\": " << r.Speedup()
+         << ", \"bit_identical\": " << (r.identical ? "true" : "false")
+         << "}";
+    first = false;
+  }
+  json << "\n  },\n";
+  json << "  \"matmul_family_gate_2x\": "
+       << (vector_available ? (matmul_gate ? "true" : "false") : "null")
+       << ",\n";
+  json << "  \"all_bit_identical\": " << (all_identical ? "true" : "false")
+       << "\n}\n";
+  Status wrote = common::AtomicWriteFile("BENCH_kernels.json", json.str());
+  if (!wrote.ok()) {
+    std::printf("warning: could not persist BENCH_kernels.json: %s\n",
+                wrote.message().c_str());
+  } else {
+    std::printf("persisted BENCH_kernels.json\n");
+  }
+  return all_identical ? 0 : 1;
+}
 
 Dataset BenchDataset(int samples = 500, int features = 16) {
   SyntheticSpec spec;
@@ -94,7 +270,34 @@ void BM_DownstreamEvaluation(benchmark::State& state) {
 BENCHMARK(BM_DownstreamEvaluation)->Arg(200)->Arg(500)->Arg(1000)
     ->Unit(benchmark::kMillisecond);
 
+// The hot matrix product at the gate's shape, through the dispatcher, for
+// profiling runs (the gate above owns the scalar-vs-SIMD comparison).
+void BM_SimdMatMul(benchmark::State& state) {
+  const bool use_simd = state.range(0) != 0;
+  Rng rng(6);
+  const int m = 96, kdim = 64, n = 64;
+  std::vector<double> a(m * kdim), b(kdim * n), out(m * n);
+  for (double& v : a) v = rng.Normal();
+  for (double& v : b) v = rng.Normal();
+  simd::SetEnabled(use_simd);
+  for (auto _ : state) {
+    simd::MatMul(a.data(), b.data(), out.data(), m, kdim, n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  simd::SetEnabled(true);
+  state.SetLabel(use_simd && simd::VectorBackendAvailable() ? "vector"
+                                                            : "scalar");
+}
+BENCHMARK(BM_SimdMatMul)->Arg(0)->Arg(1);
+
 }  // namespace
 }  // namespace fastft
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const int gate_rc = fastft::KernelGate();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return gate_rc;
+}

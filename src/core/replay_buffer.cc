@@ -12,6 +12,15 @@ namespace fastft {
 namespace {
 constexpr double kMinPriority = 1e-4;
 
+// A NaN TD error must not become a NaN priority: std::max(std::abs(NaN), x)
+// returns NaN, which later trips Rng::SampleDiscrete's non-negative-weight
+// check mid-run. Non-finite errors carry no magnitude signal, so they get
+// the floor priority and stay sampleable.
+double ClampPriority(double priority) {
+  if (!std::isfinite(priority)) return kMinPriority;
+  return std::max(std::abs(priority), kMinPriority);
+}
+
 struct ReplayMetrics {
   obs::Counter* adds;
   obs::Counter* samples;
@@ -35,7 +44,7 @@ const ReplayMetrics& Metrics() {
 void PrioritizedReplayBuffer::Add(Transition transition, double priority) {
   FASTFT_TRACE_SPAN("replay/add");
   Metrics().adds->Increment();
-  double p = std::max(std::abs(priority), kMinPriority);
+  double p = ClampPriority(priority);
   if (!Full()) {
     items_.push_back(std::move(transition));
     priorities_.push_back(p);
@@ -71,7 +80,7 @@ void PrioritizedReplayBuffer::UpdatePriority(int index, double priority) {
   Metrics().priority_updates->Increment();
   FASTFT_CHECK_GE(index, 0);
   FASTFT_CHECK_LT(index, size());
-  priorities_[index] = std::max(std::abs(priority), kMinPriority);
+  priorities_[index] = ClampPriority(priority);
 }
 
 double PrioritizedReplayBuffer::Priority(int index) const {
@@ -99,10 +108,24 @@ void WriteMatrix(const nn::Matrix& m, common::BinaryWriter* writer) {
   writer->WriteBytes(m.data(), m.size() * sizeof(double));
 }
 
+// Largest per-dimension size we will reconstruct. Real transition matrices
+// top out at a few hundred rows; the cap just has to reject corrupt headers
+// long before `rows * cols * sizeof(double)` can wrap u64 (a 2^31 x 2^31
+// header used to sneak past the remaining() bound via exactly that wrap,
+// then overflow the int conversion below into a negative Matrix dimension).
+constexpr uint32_t kMaxMatrixDim = 1u << 24;  // 16M rows/cols
+
 nn::Matrix ReadMatrix(common::BinaryReader* reader) {
   uint32_t rows = reader->ReadU32();
   uint32_t cols = reader->ReadU32();
   if (!reader->ok()) return nn::Matrix();
+  if (rows > kMaxMatrixDim || cols > kMaxMatrixDim) {
+    reader->Fail("corrupted matrix shape " + std::to_string(rows) + "x" +
+                 std::to_string(cols) + " exceeds dimension cap");
+    return nn::Matrix();
+  }
+  // Both dims are <= 2^24 so the element count fits in 48 bits and the byte
+  // count in 51 — no overflow on the bound check below.
   uint64_t count = static_cast<uint64_t>(rows) * cols;
   if (count * sizeof(double) > reader->remaining()) {
     reader->Fail("corrupted matrix shape " + std::to_string(rows) + "x" +

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/simd_kernels.h"
 
 namespace fastft {
 namespace {
@@ -52,14 +53,16 @@ int DecisionTree::BuildNode(const Rows& x, const std::vector<double>& y,
   nodes_.emplace_back();
   const double n = static_cast<double>(rows.size());
 
-  // Node value and impurity.
+  // Node value and impurity. The indexed gather into a contiguous scratch
+  // lets the sum/sumsq reduction run through the lane-split SIMD kernel.
   double node_impurity = 0.0;
   if (config_.regression) {
+    std::vector<double> labels;
+    labels.reserve(rows.size());
+    for (int r : rows) labels.push_back(y[r]);
     double sum = 0.0, sumsq = 0.0;
-    for (int r : rows) {
-      sum += y[r];
-      sumsq += y[r] * y[r];
-    }
+    simd::SumAndSumSq(labels.data(), static_cast<int>(labels.size()), &sum,
+                      &sumsq);
     double mean = sum / n;
     node_impurity = std::max(0.0, sumsq / n - mean * mean);
     nodes_[node_index].value = {mean};
@@ -93,6 +96,8 @@ int DecisionTree::BuildNode(const Rows& x, const std::vector<double>& y,
 
   std::vector<std::pair<double, double>> pairs;  // (feature value, label)
   pairs.reserve(rows.size());
+  std::vector<double> sorted_labels;
+  sorted_labels.reserve(rows.size());
   for (int feature : candidates) {
     pairs.clear();
     for (int r : rows) pairs.emplace_back(x[r][feature], y[r]);
@@ -100,12 +105,16 @@ int DecisionTree::BuildNode(const Rows& x, const std::vector<double>& y,
     if (pairs.front().first == pairs.back().first) continue;
 
     if (config_.regression) {
+      // Split-scan totals: copy the sorted labels out of the (value, label)
+      // pairs so the reduction is contiguous and SIMD-friendly; the prefix
+      // scan itself stays sequential (each step depends on the last).
+      sorted_labels.clear();
+      for (const auto& [v, label] : pairs) sorted_labels.push_back(label);
       double left_sum = 0.0, left_sumsq = 0.0;
       double total_sum = 0.0, total_sumsq = 0.0;
-      for (const auto& [v, label] : pairs) {
-        total_sum += label;
-        total_sumsq += label * label;
-      }
+      simd::SumAndSumSq(sorted_labels.data(),
+                        static_cast<int>(sorted_labels.size()), &total_sum,
+                        &total_sumsq);
       for (size_t i = 0; i + 1 < pairs.size(); ++i) {
         left_sum += pairs[i].second;
         left_sumsq += pairs[i].second * pairs[i].second;

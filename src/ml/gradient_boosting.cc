@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/simd_kernels.h"
 
 namespace fastft {
 namespace {
@@ -24,8 +25,16 @@ void GradientBoosting::Fit(const Rows& x, const std::vector<double>& y) {
   if (config_.regression) {
     num_classes_ = 0;
   } else {
+    // Class labels must be non-negative integers: anything else would be
+    // silently truncated onto class 0 by the static_cast below, training a
+    // model on garbage targets without a word of complaint.
     int max_label = 0;
-    for (double v : y) max_label = std::max(max_label, static_cast<int>(v));
+    for (double v : y) {
+      FASTFT_CHECK(std::isfinite(v) && v >= 0.0 && v == std::floor(v))
+          << "GradientBoosting classification labels must be non-negative "
+          << "integers, got " << v;
+      max_label = std::max(max_label, static_cast<int>(v));
+    }
     num_classes_ = max_label + 1;
     num_outputs = num_classes_ <= 2 ? 1 : num_classes_;
   }
@@ -55,11 +64,14 @@ void GradientBoosting::Fit(const Rows& x, const std::vector<double>& y) {
 
     std::vector<double> raw(n, base_score_[k]);
     for (int round = 0; round < config_.num_rounds; ++round) {
-      // Negative gradient (residual).
+      // Negative gradient (residual). The regression residual is a pure
+      // elementwise subtract, so it runs through the SIMD layer; the
+      // classification residual needs a per-element Sigmoid and stays scalar.
       std::vector<double> residual(n);
-      for (int i = 0; i < n; ++i) {
-        residual[i] = config_.regression ? target[i] - raw[i]
-                                         : target[i] - Sigmoid(raw[i]);
+      if (config_.regression) {
+        simd::Sub(target.data(), raw.data(), residual.data(), n);
+      } else {
+        for (int i = 0; i < n; ++i) residual[i] = target[i] - Sigmoid(raw[i]);
       }
       // Subsample rows.
       Rows sx;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/simd_kernels.h"
 #include "nn/init.h"
 
 namespace fastft {
@@ -31,6 +32,7 @@ Matrix LstmLayer::Forward(const Matrix& x) {
   Matrix hidden(len, h);
 
   std::vector<double> h_prev(h, 0.0), c_prev(h, 0.0);
+  std::vector<double> pre(4 * h);
   for (int t = 0; t < len; ++t) {
     StepCache& sc = cache_[t];
     sc.z.resize(zdim);
@@ -44,22 +46,15 @@ Matrix LstmLayer::Forward(const Matrix& x) {
     sc.o.resize(h);
     sc.c.resize(h);
     sc.tanh_c.resize(h);
+    // All four gate pre-activations in one (4h × zdim) · z matvec: W is laid
+    // out [i; f; g; o] row blocks and b_ is a contiguous column.
+    simd::MatVec(w_.value.data(), b_.value.data(), sc.z.data(), pre.data(),
+                 4 * h, zdim);
     for (int j = 0; j < h; ++j) {
-      double pre_i = b_.value(j, 0);
-      double pre_f = b_.value(h + j, 0);
-      double pre_g = b_.value(2 * h + j, 0);
-      double pre_o = b_.value(3 * h + j, 0);
-      for (int k = 0; k < zdim; ++k) {
-        double zk = sc.z[k];
-        pre_i += w_.value(j, k) * zk;
-        pre_f += w_.value(h + j, k) * zk;
-        pre_g += w_.value(2 * h + j, k) * zk;
-        pre_o += w_.value(3 * h + j, k) * zk;
-      }
-      sc.i[j] = Sigmoid(pre_i);
-      sc.f[j] = Sigmoid(pre_f);
-      sc.g[j] = std::tanh(pre_g);
-      sc.o[j] = Sigmoid(pre_o);
+      sc.i[j] = Sigmoid(pre[j]);
+      sc.f[j] = Sigmoid(pre[h + j]);
+      sc.g[j] = std::tanh(pre[2 * h + j]);
+      sc.o[j] = Sigmoid(pre[3 * h + j]);
       sc.c[j] = sc.f[j] * c_prev[j] + sc.i[j] * sc.g[j];
       sc.tanh_c[j] = std::tanh(sc.c[j]);
       hidden(t, j) = sc.o[j] * sc.tanh_c[j];
@@ -82,26 +77,17 @@ Matrix LstmLayer::ForwardInfer(const Matrix& x, std::vector<double>* h_state,
 
   std::vector<double>& h_prev = *h_state;
   std::vector<double>& c_prev = *c_state;
-  std::vector<double> z(zdim), c_next(h);
+  std::vector<double> z(zdim), c_next(h), pre(4 * h);
   for (int t = 0; t < len; ++t) {
     for (int j = 0; j < h; ++j) z[j] = h_prev[j];
     for (int j = 0; j < input_dim_; ++j) z[h + j] = x(t, j);
+    simd::MatVec(w_.value.data(), b_.value.data(), z.data(), pre.data(),
+                 4 * h, zdim);
     for (int j = 0; j < h; ++j) {
-      double pre_i = b_.value(j, 0);
-      double pre_f = b_.value(h + j, 0);
-      double pre_g = b_.value(2 * h + j, 0);
-      double pre_o = b_.value(3 * h + j, 0);
-      for (int k = 0; k < zdim; ++k) {
-        double zk = z[k];
-        pre_i += w_.value(j, k) * zk;
-        pre_f += w_.value(h + j, k) * zk;
-        pre_g += w_.value(2 * h + j, k) * zk;
-        pre_o += w_.value(3 * h + j, k) * zk;
-      }
-      double gi = Sigmoid(pre_i);
-      double gf = Sigmoid(pre_f);
-      double gg = std::tanh(pre_g);
-      double go = Sigmoid(pre_o);
+      double gi = Sigmoid(pre[j]);
+      double gf = Sigmoid(pre[h + j]);
+      double gg = std::tanh(pre[2 * h + j]);
+      double go = Sigmoid(pre[3 * h + j]);
       c_next[j] = gf * c_prev[j] + gi * gg;
       hidden(t, j) = go * std::tanh(c_next[j]);
       h_prev[j] = hidden(t, j);
@@ -138,15 +124,17 @@ Matrix LstmLayer::Backward(const Matrix& dh_all) {
       dgates[3 * h + j] = d_o * sc.o[j] * (1.0 - sc.o[j]);
     }
     // Parameter grads: dW += dgates ⊗ z; db += dgates. Input grads via W^T.
+    // The dg == 0 skip is a pure speedup for saturated gates: += 0 · z[k]
+    // cannot change any finite accumulator.
     std::vector<double> dz(zdim, 0.0);
     for (int r = 0; r < 4 * h; ++r) {
       double dg = dgates[r];
       if (dg == 0.0) continue;
       b_.grad(r, 0) += dg;
-      for (int k = 0; k < zdim; ++k) {
-        w_.grad(r, k) += dg * sc.z[k];
-        dz[k] += dg * w_.value(r, k);
-      }
+      simd::Axpy(dg, sc.z.data(),
+                 w_.grad.data() + static_cast<size_t>(r) * zdim, zdim);
+      simd::Axpy(dg, w_.value.data() + static_cast<size_t>(r) * zdim,
+                 dz.data(), zdim);
     }
     for (int j = 0; j < h; ++j) dh_next[j] = dz[j];
     for (int j = 0; j < input_dim_; ++j) dx(t, j) = dz[h + j];

@@ -5,15 +5,12 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/simd_kernels.h"
 
 namespace fastft {
 namespace nn {
 namespace {
 
-// Column-block width of the product kernels: small enough that the
-// accumulators live in registers, wide enough to stream full cache lines
-// of the right-hand operand.
-constexpr int kColBlock = 8;
 // Tile edge of the blocked transpose (32x32 doubles = two 4 KiB pages of
 // source + destination working set).
 constexpr int kTransposeBlock = 32;
@@ -75,23 +72,10 @@ void Matrix::MatMulInto(const Matrix& other, Matrix* out) const {
   FASTFT_CHECK(out != this && out != &other);
   const int m = rows_, kdim = cols_, n = other.cols_;
   Reshape(m, n, out);
-  // For each (i, j-block): one register accumulator per output element,
-  // summed over the full k range in ascending order. No zero short-circuit:
-  // 0 · Inf and 0 · NaN must propagate NaN instead of silently vanishing.
-  for (int j0 = 0; j0 < n; j0 += kColBlock) {
-    const int jw = std::min(kColBlock, n - j0);
-    for (int i = 0; i < m; ++i) {
-      const double* arow = data() + static_cast<size_t>(i) * kdim;
-      double acc[kColBlock] = {0.0};
-      for (int k = 0; k < kdim; ++k) {
-        const double a = arow[k];
-        const double* brow = other.data() + static_cast<size_t>(k) * n + j0;
-        for (int j = 0; j < jw; ++j) acc[j] += a * brow[j];
-      }
-      double* orow = out->data() + static_cast<size_t>(i) * n + j0;
-      for (int j = 0; j < jw; ++j) orow[j] = acc[j];
-    }
-  }
+  // Family-A kernel: each out(i, j) is one ascending-k chain. No zero
+  // short-circuit: 0 · Inf and 0 · NaN must propagate NaN instead of
+  // silently vanishing.
+  simd::MatMul(data(), other.data(), out->data(), m, kdim, n);
 }
 
 Matrix Matrix::MatMul(const Matrix& other) const {
@@ -105,19 +89,8 @@ void Matrix::TransposeMatMulInto(const Matrix& other, Matrix* out) const {
   FASTFT_CHECK(out != this && out != &other);
   const int m = cols_, kdim = rows_, n = other.cols_;
   Reshape(m, n, out);
-  for (int j0 = 0; j0 < n; j0 += kColBlock) {
-    const int jw = std::min(kColBlock, n - j0);
-    for (int i = 0; i < m; ++i) {
-      double acc[kColBlock] = {0.0};
-      for (int t = 0; t < kdim; ++t) {
-        const double a = (*this)(t, i);
-        const double* brow = other.data() + static_cast<size_t>(t) * n + j0;
-        for (int j = 0; j < jw; ++j) acc[j] += a * brow[j];
-      }
-      double* orow = out->data() + static_cast<size_t>(i) * n + j0;
-      for (int j = 0; j < jw; ++j) orow[j] = acc[j];
-    }
-  }
+  simd::TransposeMatMul(data(), other.data(), out->data(), m, kdim, n,
+                        /*accumulate=*/false);
 }
 
 Matrix Matrix::TransposeMatMul(const Matrix& other) const {
@@ -135,19 +108,8 @@ void Matrix::TransposeMatMulAddInto(const Matrix& other, Matrix* out) const {
   // Each element's chain completes in a register before the single += into
   // *out — the same float order as materializing the product and calling
   // AddInPlace, without the temporary.
-  for (int j0 = 0; j0 < n; j0 += kColBlock) {
-    const int jw = std::min(kColBlock, n - j0);
-    for (int i = 0; i < m; ++i) {
-      double acc[kColBlock] = {0.0};
-      for (int t = 0; t < kdim; ++t) {
-        const double a = (*this)(t, i);
-        const double* brow = other.data() + static_cast<size_t>(t) * n + j0;
-        for (int j = 0; j < jw; ++j) acc[j] += a * brow[j];
-      }
-      double* orow = out->data() + static_cast<size_t>(i) * n + j0;
-      for (int j = 0; j < jw; ++j) orow[j] += acc[j];
-    }
-  }
+  simd::TransposeMatMul(data(), other.data(), out->data(), m, kdim, n,
+                        /*accumulate=*/true);
 }
 
 void Matrix::MatMulTransposeInto(const Matrix& other, Matrix* out) const {
@@ -155,17 +117,12 @@ void Matrix::MatMulTransposeInto(const Matrix& other, Matrix* out) const {
   FASTFT_CHECK(out != this && out != &other);
   const int m = rows_, kdim = cols_, n = other.rows_;
   Reshape(m, n, out);
-  // Row-times-row dot products: both operands stream contiguously.
-  for (int i = 0; i < m; ++i) {
-    const double* arow = data() + static_cast<size_t>(i) * kdim;
-    double* orow = out->data() + static_cast<size_t>(i) * n;
-    for (int j = 0; j < n; ++j) {
-      const double* brow = other.data() + static_cast<size_t>(j) * kdim;
-      double acc = 0.0;
-      for (int k = 0; k < kdim; ++k) acc += arow[k] * brow[k];
-      orow[j] = acc;
-    }
-  }
+  // Row-times-row dot products: both operands stream contiguously. This is
+  // the one product kernel on the family-B (lane-split) reduction order —
+  // out(i, j) is a simd::Dot, not a single ascending-k chain — so it is NOT
+  // bitwise equal to MatMul(other.Transpose()); it is bitwise equal to
+  // itself across scalar/AVX2/NEON and thread counts, which is the contract.
+  simd::MatMulTranspose(data(), other.data(), out->data(), m, kdim, n);
 }
 
 Matrix Matrix::MatMulTranspose(const Matrix& other) const {
@@ -177,7 +134,7 @@ Matrix Matrix::MatMulTranspose(const Matrix& other) const {
 void Matrix::AddInPlace(const Matrix& other) {
   FASTFT_CHECK_EQ(rows_, other.rows_);
   FASTFT_CHECK_EQ(cols_, other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  simd::Add(other.data(), data(), static_cast<int>(data_.size()));
 }
 
 void Matrix::ScaleInPlace(double factor) {

@@ -3,12 +3,16 @@
 // Sized for the paper's tiny sequence models (embedding dim 32, hidden 32):
 // cache-blocked hand loops beat the complexity of a BLAS dependency here.
 //
-// Bit-identity contract: every product kernel accumulates each output
+// Bit-identity contract: the product kernels dispatch to the SIMD layer
+// (common/simd_kernels.h), whose scalar and vector backends are bit-identical
+// by construction. MatMul / TransposeMatMul(Add) accumulate each output
 // element as one chain of additions in ascending inner (k) index, exactly
-// the order of the textbook triple loop. Blocking only changes which
-// elements are in flight together, never the per-element summation order,
-// so results are bit-identical to the naive kernel — the property the
-// estimation path's exact-`==` determinism tests rely on.
+// the order of the textbook triple loop. MatMulTranspose is a family-B
+// lane-split reduction (kLanes fixed logical lanes, ascending lane-order
+// combine) — deterministic across backends and thread counts, but NOT
+// bitwise equal to MatMul(other.Transpose()). Either way, results never
+// depend on FASTFT_SIMD — the property the estimation path's exact-`==`
+// determinism tests rely on.
 
 #pragma once
 
@@ -80,7 +84,8 @@ class Matrix {
   void TransposeMatMulAddInto(const Matrix& other, Matrix* out) const;
 
   /// this * otherᵀ without forming the transpose:
-  /// out(i, j) = Σ_k this(i, k) · other(j, k), k ascending.
+  /// out(i, j) = Σ_k this(i, k) · other(j, k) as a lane-split reduction
+  /// (simd::Dot) — deterministic, but a different float order than MatMul.
   Matrix MatMulTranspose(const Matrix& other) const;
   void MatMulTransposeInto(const Matrix& other, Matrix* out) const;
 

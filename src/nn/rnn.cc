@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/simd_kernels.h"
 #include "nn/init.h"
 
 namespace fastft {
@@ -22,16 +23,16 @@ Matrix RnnLayer::Forward(const Matrix& x) {
   z_cache_.assign(len, {});
   h_cache_ = Matrix(len, h);
 
-  std::vector<double> h_prev(h, 0.0);
+  std::vector<double> h_prev(h, 0.0), pre(h);
   for (int t = 0; t < len; ++t) {
     std::vector<double>& z = z_cache_[t];
     z.resize(zdim);
     for (int j = 0; j < h; ++j) z[j] = h_prev[j];
     for (int j = 0; j < input_dim_; ++j) z[h + j] = x(t, j);
+    simd::MatVec(w_.value.data(), b_.value.data(), z.data(), pre.data(), h,
+                 zdim);
     for (int j = 0; j < h; ++j) {
-      double pre = b_.value(j, 0);
-      for (int k = 0; k < zdim; ++k) pre += w_.value(j, k) * z[k];
-      h_cache_(t, j) = std::tanh(pre);
+      h_cache_(t, j) = std::tanh(pre[j]);
       h_prev[j] = h_cache_(t, j);
     }
   }
@@ -48,14 +49,14 @@ Matrix RnnLayer::ForwardInfer(const Matrix& x,
   Matrix hidden(len, h);
 
   std::vector<double>& h_prev = *h_state;
-  std::vector<double> z(zdim);
+  std::vector<double> z(zdim), pre(h);
   for (int t = 0; t < len; ++t) {
     for (int j = 0; j < h; ++j) z[j] = h_prev[j];
     for (int j = 0; j < input_dim_; ++j) z[h + j] = x(t, j);
+    simd::MatVec(w_.value.data(), b_.value.data(), z.data(), pre.data(), h,
+                 zdim);
     for (int j = 0; j < h; ++j) {
-      double pre = b_.value(j, 0);
-      for (int k = 0; k < zdim; ++k) pre += w_.value(j, k) * z[k];
-      hidden(t, j) = std::tanh(pre);
+      hidden(t, j) = std::tanh(pre[j]);
       h_prev[j] = hidden(t, j);
     }
   }
@@ -78,10 +79,10 @@ Matrix RnnLayer::Backward(const Matrix& dh_all) {
       double dpre = dh * (1.0 - h_cache_(t, j) * h_cache_(t, j));
       if (dpre == 0.0) continue;
       b_.grad(j, 0) += dpre;
-      for (int k = 0; k < zdim; ++k) {
-        w_.grad(j, k) += dpre * z[k];
-        dz[k] += dpre * w_.value(j, k);
-      }
+      simd::Axpy(dpre, z.data(),
+                 w_.grad.data() + static_cast<size_t>(j) * zdim, zdim);
+      simd::Axpy(dpre, w_.value.data() + static_cast<size_t>(j) * zdim,
+                 dz.data(), zdim);
     }
     for (int j = 0; j < h; ++j) dh_next[j] = dz[j];
     for (int j = 0; j < input_dim_; ++j) dx(t, j) = dz[h + j];

@@ -32,6 +32,7 @@ EXPECTATIONS = {
     "trigger_nondeterminism.cc": "nondeterminism",
     "trigger_unordered_iteration.cc": "unordered-iteration",
     "trigger_raw_mutex.cc": "raw-mutex",
+    "trigger_raw_intrinsics.cc": "raw-intrinsics",
     "trigger_check_user_input.cc": "check-user-input",
     "trigger_pragma_once.h": "pragma-once",
     "clean.cc": None,
@@ -116,7 +117,7 @@ def main():
     proc = run_lint("--list-rules")
     listed = proc.stdout
     for rule in ("nondeterminism", "unordered-iteration", "raw-mutex",
-                 "check-user-input", "pragma-once"):
+                 "raw-intrinsics", "check-user-input", "pragma-once"):
         check(rule in listed, f"--list-rules mentions {rule}")
 
     if failures:

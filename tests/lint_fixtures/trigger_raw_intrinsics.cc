@@ -1,0 +1,15 @@
+// fixture-dest: src/nn/trigger_raw_intrinsics.cc
+// Must trigger: raw-intrinsics (SIMD intrinsics outside the blessed
+// src/common/simd_kernels* backends).
+#include <immintrin.h>
+
+namespace fastft {
+
+double SumFour(const double* p) {
+  __m256d v = _mm256_loadu_pd(p);
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, v);
+  return ((lanes[0] + lanes[1]) + lanes[2]) + lanes[3];
+}
+
+}  // namespace fastft

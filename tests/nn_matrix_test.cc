@@ -129,15 +129,21 @@ TEST(MatrixTest, BlockedKernelsBitIdenticalToMaterializedForms) {
     }
   }
 
-  // a · bᵀ without materializing the transpose.
+  // a · bᵀ without materializing the transpose. MatMulTranspose is a
+  // family-B lane-split reduction (see common/simd_kernels.h), so the
+  // reference is the lane-ordered dot, not MatMul(rhs.Transpose()) — the
+  // two differ in float order by design. simd::Dot's own scalar/vector
+  // identity is covered by simd_kernels_test.
   Matrix rhs = Matrix::Randn(n, k, 1.0, &rng);
   Matrix fused_bt = a.MatMulTranspose(rhs);
-  Matrix materialized_bt = a.MatMul(rhs.Transpose());
   ASSERT_EQ(fused_bt.rows(), m);
   ASSERT_EQ(fused_bt.cols(), n);
   for (int r = 0; r < m; ++r) {
     for (int c = 0; c < n; ++c) {
-      EXPECT_EQ(fused_bt(r, c), materialized_bt(r, c));
+      double lanes[4] = {0.0, 0.0, 0.0, 0.0};
+      for (int t = 0; t < k; ++t) lanes[t % 4] += a(r, t) * rhs(c, t);
+      const double expected = ((lanes[0] + lanes[1]) + lanes[2]) + lanes[3];
+      EXPECT_EQ(fused_bt(r, c), expected);
     }
   }
 }

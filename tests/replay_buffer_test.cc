@@ -2,10 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
+#include <limits>
 #include <set>
 
 #include "common/rng.h"
+#include "common/serial.h"
+#include "core/agents.h"
 #include "core/replay_buffer.h"
+#include "core/state.h"
 
 namespace fastft {
 namespace {
@@ -171,6 +177,83 @@ TEST(ReplayBufferDeathTest, OutOfRangeAccessChecks) {
   PrioritizedReplayBuffer buffer(2);
   buffer.Add(MakeTransition(0), 1.0);
   EXPECT_DEATH(buffer.Get(5), "Check failed");
+}
+
+TEST(ReplayBufferTest, NonFinitePrioritiesFloorToMinimum) {
+  // std::max(std::abs(NaN), floor) is NaN — a NaN TD error used to poison
+  // the priority vector and crash SampleDiscrete's non-negative check.
+  const double kNaN = std::numeric_limits<double>::quiet_NaN();
+  const double kInf = std::numeric_limits<double>::infinity();
+  PrioritizedReplayBuffer buffer(4);
+  buffer.Add(MakeTransition(0), kNaN);
+  buffer.Add(MakeTransition(1), kInf);
+  buffer.Add(MakeTransition(2), -kInf);
+  buffer.Add(MakeTransition(3), 1.0);
+  EXPECT_DOUBLE_EQ(buffer.Priority(0), 1e-4);
+  EXPECT_DOUBLE_EQ(buffer.Priority(1), 1e-4);
+  EXPECT_DOUBLE_EQ(buffer.Priority(2), 1e-4);
+  EXPECT_DOUBLE_EQ(buffer.Priority(3), 1.0);
+
+  buffer.UpdatePriority(3, kNaN);
+  EXPECT_DOUBLE_EQ(buffer.Priority(3), 1e-4);
+
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    const int idx = buffer.SampleIndex(&rng, /*prioritized=*/true);
+    EXPECT_GE(idx, 0);
+    EXPECT_LT(idx, buffer.size());
+  }
+}
+
+TEST(ReplayBufferTest, NanRewardThroughPolicyPriorityPathStaysSampleable) {
+  // The engine's priority path verbatim: priority = policy->TdError(t),
+  // then Add + prioritized SampleIndex + UpdatePriority. A NaN reward makes
+  // the TD error NaN; sampling must survive it.
+  AgentConfig config;
+  CascadingAgents policy(config);
+  Transition t = MakeTransition(0.0);
+  t.reward = std::numeric_limits<double>::quiet_NaN();
+  t.state.assign(kStateDim, 0.25);
+  t.next_state.assign(kStateDim, 0.5);
+  const double priority = policy.TdError(t);
+  ASSERT_TRUE(std::isnan(priority));
+
+  PrioritizedReplayBuffer buffer(4);
+  buffer.Add(std::move(t), priority);
+  EXPECT_DOUBLE_EQ(buffer.Priority(0), 1e-4);
+  Rng rng(23);
+  const int index = buffer.SampleIndex(&rng, /*prioritized=*/true);
+  EXPECT_EQ(index, 0);
+  buffer.UpdatePriority(index, policy.TdError(buffer.Get(index)));
+  EXPECT_DOUBLE_EQ(buffer.Priority(0), 1e-4);
+}
+
+TEST(ReplayBufferTest, LoadStateRejectsOverflowingMatrixHeader) {
+  // A 2^31 x 2^31 matrix header makes rows * cols * sizeof(double) wrap to
+  // zero in u64, so the remaining() bound check used to pass and the int
+  // casts handed the Matrix ctor negative dimensions. The dimension cap must
+  // fail the read cleanly instead.
+  PrioritizedReplayBuffer buffer(4);
+  buffer.Add(MakeTransition(1.0), 1.0);
+  common::BinaryWriter w;
+  buffer.SaveState(&w);
+
+  std::string payload = w.buffer();
+  // Layout: capacity u32, count u32, next_slot u32, then the first
+  // transition's head_inputs matrix header (rows u32, cols u32).
+  ASSERT_GE(payload.size(), 20u);
+  const uint32_t huge = 1u << 31;
+  std::memcpy(payload.data() + 12, &huge, sizeof(huge));
+  std::memcpy(payload.data() + 16, &huge, sizeof(huge));
+
+  PrioritizedReplayBuffer restored(4);
+  common::BinaryReader r(payload);
+  restored.LoadState(&r);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("matrix shape"), std::string::npos)
+      << r.status().ToString();
+  // The failed load must leave the target buffer untouched.
+  EXPECT_EQ(restored.size(), 0);
 }
 
 }  // namespace

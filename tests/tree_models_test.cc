@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/rng.h"
 #include "ml/decision_tree.h"
@@ -219,6 +220,30 @@ TEST(GradientBoostingTest, MulticlassOneVsRest) {
   GradientBoosting gb;
   gb.Fit(x, y);
   EXPECT_GT(Accuracy(y, gb.Predict(x)), 0.85);
+}
+
+TEST(GradientBoostingDeathTest, RejectsInvalidClassificationLabels) {
+  // static_cast<int>(label) silently truncated -1 and 0.5 onto class 0;
+  // bad labels must fail loudly instead of training on garbage targets.
+  Rows x = {{0.0}, {1.0}, {2.0}, {3.0}};
+  GradientBoosting gb;
+  EXPECT_DEATH(gb.Fit(x, {0.0, 1.0, -1.0, 1.0}), "non-negative");
+  EXPECT_DEATH(gb.Fit(x, {0.0, 1.0, 0.5, 1.0}), "non-negative");
+  EXPECT_DEATH(
+      gb.Fit(x, {0.0, 1.0, std::numeric_limits<double>::quiet_NaN(), 1.0}),
+      "non-negative");
+}
+
+TEST(GradientBoostingTest, RegressionAcceptsArbitraryTargets) {
+  // The label check is classification-only: regression targets may be
+  // negative or fractional.
+  Rows x = {{0.0}, {1.0}, {2.0}, {3.0}};
+  BoostingConfig bc;
+  bc.regression = true;
+  bc.num_rounds = 2;
+  GradientBoosting gb(bc);
+  gb.Fit(x, {-1.5, 0.25, -3.0, 2.5});
+  EXPECT_EQ(gb.Predict(x).size(), 4u);
 }
 
 TEST(GradientBoostingTest, ScoresInUnitIntervalForClassification) {

@@ -1,14 +1,22 @@
 #!/usr/bin/env bash
 # Configure, build, and run the test suite under ASan, UBSan, and TSan.
 #
-#   $ tools/check_sanitize.sh             # all three sanitizers
+#   $ tools/check_sanitize.sh             # all three sanitizers + scalar leg
 #   $ tools/check_sanitize.sh address     # just one
 #   $ tools/check_sanitize.sh thread      # just the data-race leg
+#   $ tools/check_sanitize.sh scalar      # just the -DFASTFT_SIMD=OFF leg
 #
-# Each sanitizer gets its own build tree (build-address / build-undefined /
-# build-thread). Benchmarks and examples are skipped: the test suite
-# exercises every library path and the sanitized benches would only add
-# minutes.
+# Each leg gets its own build tree (build-address / build-undefined /
+# build-thread / build-scalar). Benchmarks and examples are skipped: the
+# test suite exercises every library path and the sanitized benches would
+# only add minutes.
+#
+# FASTFT_SIMD defaults ON, so the three sanitizer legs exercise the vector
+# kernels (AVX2/NEON) where this host supports them. The extra `scalar`
+# leg rebuilds with -DFASTFT_SIMD=OFF (no sanitizer) and re-runs the
+# suite, proving the always-available scalar fallback passes the exact
+# same bit-identity tests — the configuration a non-x86/non-ARM host or a
+# FASTFT_SIMD=0 environment veto would run.
 #
 # The thread leg runs the full suite — the parallel-evaluation tests
 # (threadpool_test, parallel_determinism_test, and the evaluator/engine
@@ -25,7 +33,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-if [[ $# -gt 0 ]]; then SANITIZERS=("$@"); else SANITIZERS=(address undefined thread); fi
+if [[ $# -gt 0 ]]; then SANITIZERS=("$@"); else SANITIZERS=(address undefined thread scalar); fi
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
@@ -38,12 +46,23 @@ tools/check_static.sh
 
 for SAN in "${SANITIZERS[@]}"; do
   BUILD_DIR="build-${SAN}"
-  echo "=== sanitizer: ${SAN} -> ${BUILD_DIR} ==="
-  cmake -B "${BUILD_DIR}" -S . \
-        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-        -DFASTFT_SANITIZE="${SAN}" \
-        -DFASTFT_BUILD_BENCHMARKS=OFF \
-        -DFASTFT_BUILD_EXAMPLES=OFF
+  if [[ "${SAN}" == "scalar" ]]; then
+    # Scalar-fallback leg: no sanitizer, vector kernels compiled out. The
+    # suite's bit-identity tests must pass with the scalar reference alone.
+    echo "=== scalar fallback: FASTFT_SIMD=OFF -> ${BUILD_DIR} ==="
+    cmake -B "${BUILD_DIR}" -S . \
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          -DFASTFT_SIMD=OFF \
+          -DFASTFT_BUILD_BENCHMARKS=OFF \
+          -DFASTFT_BUILD_EXAMPLES=OFF
+  else
+    echo "=== sanitizer: ${SAN} -> ${BUILD_DIR} ==="
+    cmake -B "${BUILD_DIR}" -S . \
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          -DFASTFT_SANITIZE="${SAN}" \
+          -DFASTFT_BUILD_BENCHMARKS=OFF \
+          -DFASTFT_BUILD_EXAMPLES=OFF
+  fi
   cmake --build "${BUILD_DIR}" -j "${JOBS}"
   (cd "${BUILD_DIR}" && ctest --output-on-failure -j "${JOBS}")
   if [[ "${SAN}" == "thread" ]]; then

@@ -21,6 +21,12 @@ and the locking discipline (src/common/thread_annotations.h) enforceable:
                       src/common/thread_annotations.h. All locking goes
                       through the annotated Mutex/MutexLock/CondVar wrappers
                       so Clang -Wthread-safety can prove the discipline.
+  raw-intrinsics      SIMD intrinsics (_mm*/NEON v*q_*) or their headers
+                      outside src/common/simd_kernels*. All vector code
+                      lives behind the fastft::simd dispatch layer
+                      (src/common/simd_kernels.h) so the bit-identity
+                      contract stays auditable in one place and per-TU
+                      ISA flags (-mavx2) stay honest.
   check-user-input    FASTFT_CHECK* in input-parsing layers (src/data/csv.*,
                       src/core/expression_parser.*, tools/): malformed user
                       input must surface as Status, never abort the process.
@@ -160,6 +166,35 @@ def check_raw_mutex(rel_path, lines):
                            "-Wthread-safety can check the lock discipline")
 
 
+# --- raw-intrinsics ---------------------------------------------------------
+
+# SIMD intrinsics and their headers may only appear in the blessed kernel
+# backends (src/common/simd_kernels*): everything else calls the dispatching
+# entry points, which is what keeps the bit-identity contract auditable in
+# one place and per-TU ISA flags honest.
+RAW_INTRINSICS_RE = re.compile(
+    r"#\s*include\s*[<\"](?:immintrin|arm_neon|x86intrin|xmmintrin|emmintrin|"
+    r"pmmintrin|tmmintrin|smmintrin|nmmintrin|avxintrin|avx2intrin)\.h[>\"]"
+    r"|\b_mm(?:256|512)?_[a-z0-9_]+\s*\("
+    r"|\bv(?:ld1|st1|add|sub|mul|fma|mla|dup|get|set)q?_[a-z0-9_]+\s*\(")
+
+RAW_INTRINSICS_ALLOWED_PREFIX = os.path.join("src", "common", "simd_kernels")
+
+
+def check_raw_intrinsics(rel_path, lines):
+    if rel_path.startswith(RAW_INTRINSICS_ALLOWED_PREFIX):
+        return
+    for lineno, line in enumerate(lines, start=1):
+        code = strip_noise(line)
+        match = RAW_INTRINSICS_RE.search(code)
+        if match:
+            yield lineno, (f"'{match.group(0).strip()}' is a raw SIMD "
+                           "intrinsic outside the blessed kernel files; call "
+                           "the fastft::simd entry points "
+                           "(src/common/simd_kernels.h) so the bit-identity "
+                           "contract and per-TU ISA flags stay enforceable")
+
+
 # --- check-user-input -------------------------------------------------------
 
 CHECK_RE = re.compile(r"\bFASTFT_CHECK(?:_[A-Z]+)?\s*\(")
@@ -198,6 +233,8 @@ RULES = [
      "hash-order iteration in src/core and src/nn scoring paths"),
     ("raw-mutex", check_raw_mutex,
      "raw std::mutex family bypassing the annotated wrappers"),
+    ("raw-intrinsics", check_raw_intrinsics,
+     "SIMD intrinsics outside the blessed src/common/simd_kernels* files"),
     ("check-user-input", check_user_input,
      "CHECK on user input in parsing layers (must return Status)"),
     ("pragma-once", check_pragma_once,
