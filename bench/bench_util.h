@@ -10,10 +10,13 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "baselines/baseline.h"
+#include "common/fs.h"
+#include "common/simd_kernels.h"
 #include "core/engine.h"
 #include "data/dataset_zoo.h"
 
@@ -73,6 +76,33 @@ inline BaselineConfig DefaultBaselineConfig(uint64_t seed) {
   cfg.caafe_llm_latency = 0.12;
   cfg.seed = seed;
   return cfg;
+}
+
+/// Schema version of the perf-ledger envelope below (bumped on any change
+/// to the envelope keys; tools/bench_ledger.py rejects versions it does not
+/// know).
+inline constexpr int kLedgerVersion = 1;
+
+/// Wraps one bench's JSON payload in the cross-run perf-ledger envelope and
+/// persists it atomically. Every committed BENCH_*.json carries the same
+/// provenance header — schema version, SIMD backend, worker-thread count —
+/// so tools/bench_ledger.py can validate, diff, and regression-gate runs
+/// without per-bench knowledge. `payload` must be a complete JSON value.
+inline void PersistLedger(const std::string& file, const std::string& bench,
+                          const std::string& payload) {
+  std::ostringstream json;
+  json << "{\n  \"ledger_version\": " << kLedgerVersion << ",\n"
+       << "  \"bench\": \"" << bench << "\",\n"
+       << "  \"backend\": \"" << simd::ActiveBackend() << "\",\n"
+       << "  \"threads\": " << BenchThreads() << ",\n"
+       << "  \"payload\": " << payload << "\n}\n";
+  Status wrote = common::AtomicWriteFile(file, json.str());
+  if (!wrote.ok()) {
+    std::printf("warning: could not persist %s: %s\n", file.c_str(),
+                wrote.message().c_str());
+  } else {
+    std::printf("persisted %s\n", file.c_str());
+  }
 }
 
 inline double Mean(const std::vector<double>& v) {

@@ -160,15 +160,14 @@ int KernelGate() {
   }
 
   std::ostringstream json;
-  json << "{\n  \"bench\": \"micro_core_kernels\",\n";
-  json << "  \"backend\": \"" << simd::ActiveBackend() << "\",\n";
-  json << "  \"shapes\": {\"matmul\": [" << m << ", " << kdim << ", " << n
+  json << "{\n";
+  json << "    \"shapes\": {\"matmul\": [" << m << ", " << kdim << ", " << n
        << "], \"matvec\": [" << mv_rows << ", " << mv_cols
        << "], \"vector_n\": " << vec_n << "},\n";
-  json << "  \"kernels\": {\n";
+  json << "    \"kernels\": {\n";
   bool first = true;
   for (const KernelResult& r : results) {
-    json << (first ? "" : ",\n") << "    \"" << r.name << "\": {"
+    json << (first ? "" : ",\n") << "      \"" << r.name << "\": {"
          << "\"scalar_ms\": " << 1e3 * r.scalar_s
          << ", \"simd_ms\": " << 1e3 * r.simd_s
          << ", \"speedup\": " << r.Speedup()
@@ -176,19 +175,14 @@ int KernelGate() {
          << "}";
     first = false;
   }
-  json << "\n  },\n";
-  json << "  \"matmul_family_gate_2x\": "
+  json << "\n    },\n";
+  json << "    \"matmul_family_gate_2x\": "
        << (vector_available ? (matmul_gate ? "true" : "false") : "null")
        << ",\n";
-  json << "  \"all_bit_identical\": " << (all_identical ? "true" : "false")
-       << "\n}\n";
-  Status wrote = common::AtomicWriteFile("BENCH_kernels.json", json.str());
-  if (!wrote.ok()) {
-    std::printf("warning: could not persist BENCH_kernels.json: %s\n",
-                wrote.message().c_str());
-  } else {
-    std::printf("persisted BENCH_kernels.json\n");
-  }
+  json << "    \"all_bit_identical\": " << (all_identical ? "true" : "false")
+       << "\n  }";
+  bench::PersistLedger("BENCH_kernels.json", "micro_core_kernels",
+                       json.str());
   return all_identical ? 0 : 1;
 }
 

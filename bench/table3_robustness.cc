@@ -170,12 +170,12 @@ int main_impl() {
 
   // Persist the run as the on-disk perf snapshot (ROADMAP: BENCH_*.json).
   std::ostringstream json;
-  json << "{\n  \"bench\": \"table3_robustness\",\n";
-  json << "  \"dataset\": \"German Credit\",\n";
-  json << "  \"scores\": {\n";
+  json << "{\n";
+  json << "    \"dataset\": \"German Credit\",\n";
+  json << "    \"scores\": {\n";
   bool first_method = true;
   for (const auto& [name, scores] : method_scores) {
-    json << (first_method ? "" : ",\n") << "    \"" << name << "\": {";
+    json << (first_method ? "" : ",\n") << "      \"" << name << "\": {";
     first_method = false;
     bool first_kind = true;
     for (ModelKind kind : kinds) {
@@ -185,26 +185,20 @@ int main_impl() {
     }
     json << "}";
   }
-  json << "\n  },\n";
-  json << "  \"fastft_mean\": " << fastft_mean << ",\n";
-  json << "  \"best_mean\": " << best_mean << ",\n";
-  json << "  \"best_mean_method\": \"" << best_mean_method << "\",\n";
-  json << "  \"checkpoint_overhead\": {\n";
-  json << "    \"plain_seconds\": " << plain_seconds << ",\n";
-  json << "    \"checkpointed_seconds\": " << ckpt_seconds << ",\n";
-  json << "    \"checkpoint_bucket_seconds\": " << ckpt_bucket << ",\n";
-  json << "    \"checkpoint_bucket_pct\": " << bucket_pct << ",\n";
-  json << "    \"bit_identical\": "
+  json << "\n    },\n";
+  json << "    \"fastft_mean\": " << fastft_mean << ",\n";
+  json << "    \"best_mean\": " << best_mean << ",\n";
+  json << "    \"best_mean_method\": \"" << best_mean_method << "\",\n";
+  json << "    \"checkpoint_overhead\": {\n";
+  json << "      \"plain_seconds\": " << plain_seconds << ",\n";
+  json << "      \"checkpointed_seconds\": " << ckpt_seconds << ",\n";
+  json << "      \"checkpoint_bucket_seconds\": " << ckpt_bucket << ",\n";
+  json << "      \"checkpoint_bucket_pct\": " << bucket_pct << ",\n";
+  json << "      \"bit_identical\": "
        << (plain.best_score == ckpt.best_score ? "true" : "false") << "\n";
-  json << "  }\n}\n";
-  Status wrote =
-      common::AtomicWriteFile("BENCH_robustness.json", json.str());
-  if (!wrote.ok()) {
-    std::printf("warning: could not persist BENCH_robustness.json: %s\n",
-                wrote.message().c_str());
-  } else {
-    std::printf("persisted BENCH_robustness.json\n");
-  }
+  json << "    }\n  }";
+  bench::PersistLedger("BENCH_robustness.json", "table3_robustness",
+                       json.str());
   return 0;
 }
 

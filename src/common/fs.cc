@@ -1,5 +1,7 @@
 #include "common/fs.h"
 
+#include "common/fault.h"
+
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -116,6 +118,10 @@ Status AtomicWriteFile(const std::string& path, const std::string& content) {
                            "': " + ErrnoDetail());
   }
 #endif
+  // Kill site for the chaos harness: dying after the temp file is complete
+  // but before the rename must leave the previous target intact (the stray
+  // temp file is harmless and overwritten by the next write).
+  (void)FASTFT_FAULT_POINT("fs/atomic_write");
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     return Status::IOError("rename '" + tmp + "' -> '" + path +

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/logging.h"
 #include "common/rng.h"
@@ -9,8 +10,7 @@
 
 namespace fastft {
 
-std::vector<double> SoftmaxScores(const nn::Matrix& scores,
-                                  double temperature) {
+std::vector<double> FlattenScores(const nn::Matrix& scores) {
   // Accepts either an (n × 1) column of per-candidate scores or a (1 × n)
   // logits row.
   std::vector<double> flat;
@@ -20,6 +20,29 @@ std::vector<double> SoftmaxScores(const nn::Matrix& scores,
     FASTFT_CHECK_EQ(scores.rows(), 1);
     for (int c = 0; c < scores.cols(); ++c) flat.push_back(scores(0, c));
   }
+  return flat;
+}
+
+SelectionStats CascadePolicy::MakeSelectionStats(
+    const std::vector<double>& scores, int action) {
+  SelectionStats stats;
+  stats.candidates = static_cast<int>(scores.size());
+  stats.chosen_score =
+      action >= 0 && action < stats.candidates ? scores[action] : 0.0;
+  stats.runner_up_score = std::numeric_limits<double>::quiet_NaN();
+  for (int i = 0; i < stats.candidates; ++i) {
+    if (i == action) continue;
+    if (std::isnan(stats.runner_up_score) ||
+        scores[i] > stats.runner_up_score) {
+      stats.runner_up_score = scores[i];
+    }
+  }
+  return stats;
+}
+
+std::vector<double> SoftmaxScores(const nn::Matrix& scores,
+                                  double temperature) {
+  std::vector<double> flat = FlattenScores(scores);
   double max_score = -1e300;
   for (double v : flat) max_score = std::max(max_score, v);
   double denom = 0.0;
@@ -69,19 +92,25 @@ int CascadingAgents::SampleFromScores(const nn::Matrix& scores, Rng* rng) {
 int CascadingAgents::SelectHead(const nn::Matrix& candidates, Rng* rng) {
   FASTFT_CHECK_GT(candidates.rows(), 0);
   nn::Matrix scores = head_net_.Forward(candidates);
-  return SampleFromScores(scores, rng);
+  int action = SampleFromScores(scores, rng);
+  head_selection_ = MakeSelectionStats(FlattenScores(scores), action);
+  return action;
 }
 
 int CascadingAgents::SelectOperation(const nn::Matrix& input, Rng* rng) {
   FASTFT_CHECK_EQ(input.rows(), 1);
   nn::Matrix logits = op_net_.Forward(input);
-  return SampleFromScores(logits, rng);
+  int action = SampleFromScores(logits, rng);
+  op_selection_ = MakeSelectionStats(FlattenScores(logits), action);
+  return action;
 }
 
 int CascadingAgents::SelectTail(const nn::Matrix& candidates, Rng* rng) {
   FASTFT_CHECK_GT(candidates.rows(), 0);
   nn::Matrix scores = tail_net_.Forward(candidates);
-  return SampleFromScores(scores, rng);
+  int action = SampleFromScores(scores, rng);
+  tail_selection_ = MakeSelectionStats(FlattenScores(scores), action);
+  return action;
 }
 
 double CascadingAgents::Value(const std::vector<double>& state) {

@@ -36,6 +36,18 @@ struct AgentConfig {
   uint64_t seed = 1234;
 };
 
+/// Score provenance of one agent's most recent Select* call, captured for
+/// the flight recorder (common/recorder.h). Filled unconditionally from the
+/// forward pass the selection already ran — copies of computed scores, so
+/// recording can never steer the policy.
+struct SelectionStats {
+  int candidates = 0;
+  /// Raw selection score (actor logit / Q-value) of the chosen action.
+  double chosen_score = 0.0;
+  /// Best score among the non-chosen candidates; NaN with < 2 candidates.
+  double runner_up_score = 0.0;
+};
+
 /// Interface shared by the actor-critic cascade and the Q-learning cascades.
 class CascadePolicy {
  public:
@@ -72,6 +84,20 @@ class CascadePolicy {
   static int HeadInputDim() { return 2 * kStateDim; }
   static int OpInputDim() { return 2 * kStateDim; }
   static int TailInputDim() { return 3 * kStateDim + kNumOperations; }
+
+  /// Provenance of the most recent SelectHead / SelectOperation /
+  /// SelectTail call. Every implementation fills these as part of the
+  /// selection itself; values persist until the next call of that kind.
+  const SelectionStats& head_selection() const { return head_selection_; }
+  const SelectionStats& op_selection() const { return op_selection_; }
+  const SelectionStats& tail_selection() const { return tail_selection_; }
+
+ protected:
+  /// Builds stats from a flat score vector and the sampled action index.
+  static SelectionStats MakeSelectionStats(const std::vector<double>& scores,
+                                           int action);
+
+  SelectionStats head_selection_, op_selection_, tail_selection_;
 };
 
 /// Advantage actor-critic cascade (the FastFT default).
@@ -109,6 +135,9 @@ class CascadingAgents : public CascadePolicy {
 /// Softmax with temperature over a column of scores.
 std::vector<double> SoftmaxScores(const nn::Matrix& scores,
                                   double temperature);
+
+/// Flattens an (n × 1) score column or a (1 × n) logits row into a vector.
+std::vector<double> FlattenScores(const nn::Matrix& scores);
 
 }  // namespace fastft
 

@@ -11,6 +11,7 @@
 #include "common/fault.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/recorder.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/threadpool.h"
@@ -79,6 +80,41 @@ class TraceSession {
   std::string path_;
   bool active_ = false;
 };
+
+// Arms the flight recorder for one Run(). Unlike TraceSession this only
+// manages the rings: the stream writer (obs::RecordStream) is opened after
+// the resume block, once the episode cursor is known, and flushes at
+// episode boundaries inside the loop.
+class RecordSession {
+ public:
+  RecordSession(const std::string& path, int ring_capacity) {
+    if (path.empty()) return;
+    obs::RecorderOptions options;
+    options.ring_capacity = static_cast<size_t>(ring_capacity);
+    obs::StartRecording(options);
+    active_ = true;
+  }
+  ~RecordSession() {
+    if (active_) obs::StopRecording();
+  }
+
+  bool active() const { return active_; }
+
+  RecordSession(const RecordSession&) = delete;
+  RecordSession& operator=(const RecordSession&) = delete;
+
+ private:
+  bool active_ = false;
+};
+
+obs::AgentDecision DecisionFrom(const SelectionStats& stats, int action) {
+  obs::AgentDecision d;
+  d.action = action;
+  d.candidates = stats.candidates;
+  d.chosen_score = stats.chosen_score;
+  d.runner_up_score = stats.runner_up_score;
+  return d;
+}
 
 std::unique_ptr<CascadePolicy> MakePolicy(const EngineConfig& config) {
   switch (config.framework) {
@@ -210,6 +246,14 @@ Status ValidateEngineConfig(const EngineConfig& config) {
     return invalid("trace_ring_capacity must be >= 1 when tracing, got " +
                    std::to_string(config.trace_ring_capacity));
   }
+  if (!config.record_path.empty() && config.record_path.back() == '/') {
+    return invalid("record_path must name a file, not a directory: '" +
+                   config.record_path + "'");
+  }
+  if (!config.record_path.empty() && config.record_ring_capacity < 1) {
+    return invalid("record_ring_capacity must be >= 1 when recording, got " +
+                   std::to_string(config.record_ring_capacity));
+  }
   if (config.checkpoint_every_episodes < 1) {
     return invalid("checkpoint_every_episodes must be >= 1, got " +
                    std::to_string(config.checkpoint_every_episodes));
@@ -253,6 +297,8 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
   }
   FASTFT_RETURN_NOT_OK(ValidateEngineConfig(config_));
   TraceSession trace_session(config_.trace_path, config_.trace_ring_capacity);
+  RecordSession record_session(config_.record_path,
+                               config_.record_ring_capacity);
   FASTFT_TRACE_SPAN("engine/run");
   // Metrics delta: counting is always on; the snapshot pair brackets this
   // run so EngineResult::metrics reports only what the run itself did.
@@ -384,6 +430,30 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
     }
   }
 
+  // Open the record stream at the episode cursor: a fresh run truncates any
+  // stale stream; a resumed run keeps the blocks of episodes before the
+  // cursor so kill → resume yields one coherent stream.
+  std::optional<obs::RecordStream> record_stream;
+  if (record_session.active()) {
+    record_stream.emplace(obs::RecordStream::Open(
+        config_.record_path, result.resumed ? rs.next_episode : 0));
+  }
+  // Interleaves a fault / health-ladder event into the decision stream
+  // (no-op when recording is off; never observable in scores or reports).
+  auto record_guard_event = [&](obs::RecordEventKind kind, int episode,
+                                int step, const char* site,
+                                std::string detail) {
+    if (!record_session.active()) return;
+    obs::RecordEvent ev;
+    ev.kind = kind;
+    ev.episode = episode;
+    ev.step = step;
+    ev.global_step = rs.global_step;
+    ev.site = site;
+    ev.detail = std::move(detail);
+    obs::Emit(ev);
+  };
+
   bool interrupted = deadline.Expired();
 
   if (!result.resumed && !interrupted) {
@@ -497,11 +567,13 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
       FASTFT_TRACE_SPAN("engine/step");
       Metrics().steps->Increment();
       // Anneal random exploration toward strategy-driven selection.
-      policy->SetExplorationRate(
+      const double epsilon =
           config_.epsilon_end +
           (config_.epsilon_start - config_.epsilon_end) *
               std::exp(-static_cast<double>(global_step) /
-                       std::max(config_.epsilon_decay_steps, 1)));
+                       std::max(config_.epsilon_decay_steps, 1));
+      policy->SetExplorationRate(epsilon);
+      obs::RecordEvent rev;  // step provenance, filled as the step computes
       Transition t;
       int added = 0;
       {
@@ -551,6 +623,17 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
         }
       }
       const bool generated_new = added > 0;
+      if (record_session.active()) {
+        rev.episode = episode;
+        rev.step = step;
+        rev.global_step = global_step;
+        rev.epsilon = epsilon;
+        rev.head = DecisionFrom(policy->head_selection(), t.head_action);
+        rev.op = DecisionFrom(policy->op_selection(), t.op_action);
+        if (t.tail_action >= 0) {
+          rev.tail = DecisionFrom(policy->tail_selection(), t.tail_action);
+        }
+      }
 
       t.tokens = space.SequenceTokens(tokenizer);
       const std::vector<int> step_tokens = t.tokens;
@@ -572,7 +655,14 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
           Metrics().predictor_estimations->Increment();
           if (FASTFT_FAULT_POINT("predictor/predict")) predicted = kNaN;
           if (!std::isfinite(predicted)) {
+            const bool was_quarantined = health.predictor.quarantined();
             health.RecordComponentFault(&health.predictor);
+            record_guard_event(obs::RecordEventKind::kFault, episode, step,
+                               "predictor/predict", "non-finite prediction");
+            if (!was_quarantined && health.predictor.quarantined()) {
+              record_guard_event(obs::RecordEventKind::kHealth, episode, step,
+                                 "health/quarantine", health.predictor.name);
+            }
             predicted = 0.0;
           } else {
             have_prediction = true;
@@ -582,7 +672,14 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
           novelty_score = novelty->NormalizedNovelty(t.tokens);
           if (FASTFT_FAULT_POINT("novelty/estimate")) novelty_score = kNaN;
           if (!std::isfinite(novelty_score)) {
+            const bool was_quarantined = health.novelty.quarantined();
             health.RecordComponentFault(&health.novelty);
+            record_guard_event(obs::RecordEventKind::kFault, episode, step,
+                               "novelty/estimate", "non-finite novelty");
+            if (!was_quarantined && health.novelty.quarantined()) {
+              record_guard_event(obs::RecordEventKind::kHealth, episode, step,
+                                 "health/quarantine", health.novelty.name);
+            }
             novelty_score = 0.0;
           }
         }
@@ -649,6 +746,9 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
           // (every fold skipped) lands here too and is counted the same
           // way in the health report.
           health.RecordEvaluatorFault();
+          record_guard_event(obs::RecordEventKind::kFault, episode, step,
+                             "evaluator/evaluate",
+                             "non-finite downstream score dropped");
           run_downstream = false;
           v = have_prediction ? predicted : prev_perf;
         } else {
@@ -662,6 +762,7 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
 
       // Eq. 5 / Eq. 6 reward with ε-decayed novelty bonus.
       double reward = v - prev_perf;
+      const double reward_performance = reward;
       double eps_i = 0.0;
       if (ne_on && components_ready) {
         eps_i = config_.novelty_weight_end +
@@ -691,7 +792,14 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
         int index =
             buffer.SampleIndex(&rng, config_.prioritized_replay);
         policy->Optimize(buffer.Get(index));
-        buffer.UpdatePriority(index, policy->TdError(buffer.Get(index)));
+        double updated_priority = policy->TdError(buffer.Get(index));
+        buffer.UpdatePriority(index, updated_priority);
+        if (record_session.active()) {
+          rev.priority_added = priority;
+          rev.priority_updated = updated_priority;
+          rev.replay_sampled = index;
+          rev.replay_size = static_cast<int32_t>(buffer.size());
+        }
       }
 
       // --- Trace entry. ---
@@ -741,6 +849,19 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
         }
         if (best_col >= 0) trace.top_new_feature = space.ColumnName(best_col);
       }
+      if (record_session.active()) {
+        rev.novelty = novelty_score;
+        rev.predicted = predicted;
+        rev.performance = v;
+        rev.reward = reward;
+        rev.reward_performance = reward_performance;
+        rev.reward_novelty = reward - reward_performance;
+        rev.novelty_weight = eps_i;
+        rev.downstream_evaluated = run_downstream;
+        rev.generated = generated_new;
+        rev.detail = trace.top_new_feature;
+        obs::Emit(rev);
+      }
       result.trace.push_back(std::move(trace));
       ++global_step;
     }
@@ -760,6 +881,9 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
         if (FASTFT_FAULT_POINT("predictor/coldstart")) mse = kNaN;
         if (!std::isfinite(mse)) {
           health.RecordComponentFault(&health.predictor);
+          record_guard_event(obs::RecordEventKind::kFault, episode, -1,
+                             "predictor/coldstart",
+                             "non-finite cold-start loss");
           ++health.skipped_updates;
         }
       }
@@ -774,6 +898,9 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
         if (FASTFT_FAULT_POINT("novelty/coldstart")) loss = kNaN;
         if (!std::isfinite(loss)) {
           health.RecordComponentFault(&health.novelty);
+          record_guard_event(obs::RecordEventKind::kFault, episode, -1,
+                             "novelty/coldstart",
+                             "non-finite cold-start loss");
           ++health.skipped_updates;
         }
       }
@@ -804,7 +931,12 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
           if (component->TickBackoff()) {
             double loss = pass();
             if (FASTFT_FAULT_POINT(site)) loss = kNaN;
-            health.ResolveProbe(component, std::isfinite(loss));
+            const bool recovered = std::isfinite(loss);
+            health.ResolveProbe(component, recovered);
+            record_guard_event(obs::RecordEventKind::kHealth, episode, -1,
+                               recovered ? "health/recovery"
+                                         : "health/probe_failed",
+                               component->name);
           }
           return;
         }
@@ -813,6 +945,10 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
           if (FASTFT_FAULT_POINT(site)) loss = kNaN;
           if (!std::isfinite(loss)) {
             health.RecordComponentFault(component);
+            record_guard_event(obs::RecordEventKind::kFault, episode, -1, site,
+                               "non-finite finetune loss");
+            record_guard_event(obs::RecordEventKind::kHealth, episode, -1,
+                               "health/quarantine", component->name);
             ++health.skipped_updates;
             break;
           }
@@ -830,6 +966,31 @@ Result<EngineResult> FastFtEngine::Run(const Dataset& dataset) {
     }
 
     result.episode_best.push_back(result.best_score);
+
+    // --- Episode-boundary record flush. ---
+    // Only completed episodes are flushed: an interrupted episode replays
+    // on resume, so its partial events stay in the rings and are discarded
+    // when the session closes (a flush would duplicate them post-resume).
+    if (record_stream) {
+      obs::RecordEvent boundary;
+      boundary.kind = obs::RecordEventKind::kEpisode;
+      boundary.episode = episode;
+      boundary.step = config_.steps_per_episode;
+      boundary.global_step = global_step;
+      boundary.best_score = result.best_score;
+      boundary.replay_size = static_cast<int32_t>(buffer.size());
+      obs::Emit(boundary);
+      obs::DrainedEvents drained = obs::DrainRecordedEvents();
+      result.recorded_events += static_cast<int64_t>(drained.events.size());
+      result.recorded_dropped += drained.TotalDropped();
+      Status flushed = record_stream->FlushEpisode(episode, drained);
+      if (!flushed.ok()) {
+        FASTFT_LOG(Warning) << "record flush to '" << config_.record_path
+                            << "' failed: " << flushed.ToString()
+                            << "; the run continues unrecorded for this "
+                               "episode";
+      }
+    }
 
     // --- Episode-boundary snapshot. ---
     rs.next_episode = episode + 1;

@@ -132,6 +132,18 @@ struct EngineConfig {
   /// process-wide; this only gates the snapshot.
   bool metrics = true;
 
+  /// When non-empty, Run() records per-step decision provenance — candidate
+  /// sets, chosen/runner-up scores, the Eq. 6 reward decomposition, replay
+  /// priorities, health events (see common/recorder.h) — and flushes the
+  /// versioned binary stream here at every episode boundary through the
+  /// atomic-write path. Recording never changes scores, reports, or traces;
+  /// on resume the stream reopens at the checkpoint's episode cursor so
+  /// kill → resume yields one coherent stream.
+  std::string record_path;
+  /// Per-thread decision-event ring capacity while recording (drop-oldest
+  /// beyond this; the stream carries exact per-thread dropped counters).
+  int record_ring_capacity = 16384;
+
   /// When non-empty, Run() snapshots its full state here (atomically: temp
   /// file + fsync + rename) at episode boundaries. Checkpointing never
   /// changes scores; it only adds the serialize/write wall clock.
@@ -202,6 +214,11 @@ struct EngineResult {
   int completed_episodes = 0;
   /// True when this run restored state from a checkpoint.
   bool resumed = false;
+  /// Flight-recorder tallies for this run (zero with recording off). These
+  /// stay OUT of the run report, which is byte-identical with recording on
+  /// or off.
+  int64_t recorded_events = 0;
+  int64_t recorded_dropped = 0;
 };
 
 /// Rejects configurations the engine cannot run (non-positive schedules,

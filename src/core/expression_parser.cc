@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/fs.h"
+
 namespace fastft {
 namespace {
 
@@ -223,10 +225,9 @@ Result<TransformationProgram> TransformationProgram::Deserialize(
 }
 
 Status TransformationProgram::SaveToFile(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open " + path + " for writing");
-  out << Serialize();
-  return out.good() ? Status::OK() : Status::IOError("write failed: " + path);
+  // Atomic temp+rename like every other durable artifact: a crash mid-write
+  // leaves the previous program (or nothing), never a truncated one.
+  return common::AtomicWriteFile(path, Serialize());
 }
 
 Result<TransformationProgram> TransformationProgram::LoadFromFile(

@@ -113,17 +113,26 @@ int QCascade::SelectHead(const nn::Matrix& candidates, Rng* rng) {
   // selection; the dueling decomposition only shifts all Q-values equally,
   // leaving the argmax unchanged.
   std::vector<double> zero_state(kStateDim, 0.0);
-  return Greedy(QValues(&head_, candidates, zero_state, false), rng);
+  std::vector<double> q = QValues(&head_, candidates, zero_state, false);
+  int action = Greedy(q, rng);
+  head_selection_ = MakeSelectionStats(q, action);
+  return action;
 }
 
 int QCascade::SelectOperation(const nn::Matrix& input, Rng* rng) {
   std::vector<double> zero_state(kStateDim, 0.0);
-  return Greedy(QValues(&op_, input, zero_state, false), rng);
+  std::vector<double> q = QValues(&op_, input, zero_state, false);
+  int action = Greedy(q, rng);
+  op_selection_ = MakeSelectionStats(q, action);
+  return action;
 }
 
 int QCascade::SelectTail(const nn::Matrix& candidates, Rng* rng) {
   std::vector<double> zero_state(kStateDim, 0.0);
-  return Greedy(QValues(&tail_, candidates, zero_state, false), rng);
+  std::vector<double> q = QValues(&tail_, candidates, zero_state, false);
+  int action = Greedy(q, rng);
+  tail_selection_ = MakeSelectionStats(q, action);
+  return action;
 }
 
 double QCascade::NextStateTarget(const Transition& t) {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/fault.h"
+#include "common/fs.h"
 
 namespace fastft {
 namespace {
@@ -173,10 +174,9 @@ std::string WriteCsv(const DataFrame& frame) {
 }
 
 Status WriteCsvFile(const DataFrame& frame, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open " + path + " for writing");
-  out << WriteCsv(frame);
-  return out.good() ? Status::OK() : Status::IOError("write failed: " + path);
+  // Atomic temp+rename like every other durable artifact: a crash mid-write
+  // leaves the previous file (or nothing), never a truncated CSV.
+  return common::AtomicWriteFile(path, WriteCsv(frame));
 }
 
 Result<Dataset> ReadDatasetCsv(const std::string& path,

@@ -5,6 +5,7 @@
 #include "common/trace.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <future>
 #include <sstream>
@@ -137,6 +138,35 @@ TEST_F(TraceTest, ChromeJsonHasRequiredStructure) {
   EXPECT_NE(json.find("process_name"), std::string::npos);
   EXPECT_NE(json.find("\"droppedSpans\""), std::string::npos);
   EXPECT_NE(json.find("\"spanSummary\""), std::string::npos);
+}
+
+TEST_F(TraceTest, DroppedSpansSectionReconcilesWithSnapshot) {
+  obs::TraceOptions options;
+  options.ring_capacity = 2;
+  obs::StartTracing(options);
+  for (int i = 0; i < 7; ++i) {
+    FASTFT_TRACE_SPAN("test/overflow");
+  }
+  obs::StopTracing();
+
+  obs::TraceSnapshot snapshot = obs::SnapshotTrace();
+  EXPECT_EQ(snapshot.TotalDropped(), 5);
+
+  // The exporter's droppedSpans object carries the same exact per-thread
+  // counters the snapshot holds — sum its values and reconcile.
+  std::string json = obs::ChromeTraceJson(snapshot);
+  size_t begin = json.find("\"droppedSpans\": {");
+  ASSERT_NE(begin, std::string::npos);
+  begin += std::string("\"droppedSpans\": {").size();
+  size_t end = json.find('}', begin);
+  ASSERT_NE(end, std::string::npos);
+  int64_t exported = 0;
+  std::string body = json.substr(begin, end - begin);
+  for (size_t pos = body.find(':'); pos != std::string::npos;
+       pos = body.find(':', pos + 1)) {
+    exported += std::strtoll(body.c_str() + pos + 1, nullptr, 10);
+  }
+  EXPECT_EQ(exported, snapshot.TotalDropped());
 }
 
 TEST_F(TraceTest, PoolWorkersAttributeSpansToNamedThreads) {

@@ -26,10 +26,12 @@
 # fan Predict/Novelty inference over the shared pool. It finishes with
 # tools/check_trace.sh against the sanitized CLI, so a full traced engine
 # run (span rings + metrics registry) executes under the race detector,
-# and tools/check_crash.sh, so kill-and-resume checkpointing (atomic
-# writes, restore paths, threaded resume) is exercised under TSan too.
-# (Every leg's ctest pass already includes the `check_crash` case against
-# that tree's sanitized CLI.)
+# tools/check_crash.sh, so kill-and-resume checkpointing (atomic writes,
+# restore paths, threaded resume) is exercised under TSan too, and
+# tools/check_record.sh, so a recorded run (per-thread event rings +
+# episode stream flushes + fastft_inspect decode) sees the race detector
+# as well. (Every leg's ctest pass already includes the `check_crash` and
+# `check_record` cases against that tree's sanitized CLI.)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -73,6 +75,9 @@ for SAN in "${SANITIZERS[@]}"; do
     tools/check_trace.sh "${BUILD_DIR}/tools/fastft"
     echo "=== thread leg: kill-and-resume chaos harness (check_crash.sh) ==="
     tools/check_crash.sh "${BUILD_DIR}/tools/fastft"
+    echo "=== thread leg: recorded CLI run (check_record.sh) ==="
+    tools/check_record.sh "${BUILD_DIR}/tools/fastft" \
+                          "${BUILD_DIR}/tools/fastft_inspect"
   fi
 done
 

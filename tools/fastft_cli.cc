@@ -23,9 +23,11 @@
 //   hardware thread); scores are bit-identical to a serial run.
 //
 //   transform and benchmark both accept --trace-out trace.json (Chrome
-//   trace-event export of the run — load in Perfetto or chrome://tracing)
-//   and --metrics-out metrics.json (the run's counter/histogram snapshot).
-//   Neither changes scores: observability only reads clocks and counts.
+//   trace-event export of the run — load in Perfetto or chrome://tracing),
+//   --metrics-out metrics.json (the run's counter/histogram snapshot), and
+//   --record-out run.ffr (the decision-level flight-recorder stream —
+//   decode with fastft_inspect). None of them change scores: observability
+//   only reads clocks, counts, and already-computed values.
 //
 //   Crash safety (transform and benchmark):
 //     --checkpoint-dir DIR    snapshot engine state to DIR/fastft.ckpt at
@@ -91,12 +93,14 @@ int Usage() {
                "  fastft transform --input data.csv --label <col> "
                "[--task C|R|D] [--episodes N] [--steps N] [--seed S] "
                "[--threads N] [--output out.csv] [--program prog.txt] "
-               "[--trace-out trace.json] [--metrics-out metrics.json]\n"
+               "[--trace-out trace.json] [--metrics-out metrics.json] "
+               "[--record-out run.ffr]\n"
                "  fastft apply --input new.csv --program prog.txt "
                "[--label <col>] [--output out.csv]\n"
                "  fastft benchmark --dataset \"<zoo name>\" [--episodes N] "
                "[--seed S] [--threads N] [--trace-out trace.json] "
-               "[--metrics-out metrics.json] [--report report.json]\n"
+               "[--metrics-out metrics.json] [--record-out run.ffr] "
+               "[--report report.json]\n"
                "crash safety (transform and benchmark):\n"
                "  [--checkpoint-dir DIR] [--checkpoint-every N] [--resume 1] "
                "[--budget-ms N] [--chaos-kill site:hit[:abort]]\n");
@@ -134,6 +138,9 @@ EngineConfig ConfigFromArgs(const Args& args) {
   config.trace_path = args.Get("trace-out");
   config.trace_ring_capacity =
       args.GetInt("trace-ring-capacity", config.trace_ring_capacity);
+  config.record_path = args.Get("record-out");
+  config.record_ring_capacity =
+      args.GetInt("record-ring-capacity", config.record_ring_capacity);
   if (args.Has("checkpoint-dir")) {
     config.checkpoint_path = args.Get("checkpoint-dir") + "/fastft.ckpt";
   }
