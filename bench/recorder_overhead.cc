@@ -163,7 +163,9 @@ int Main() {
   obs::DrainedEvents empty;
   timer.Restart();
   for (int e = 0; e < episodes; ++e) {
-    (void)replay.FlushEpisode(1000 + e, empty);
+    Status flush = replay.FlushEpisode(1000 + e, empty);
+    FASTFT_CHECK(flush.ok()) << "flush bench invalidated: "
+                             << flush.ToString();
   }
   const double flush_seconds = timer.Seconds();
   std::remove(record_path.c_str());

@@ -127,7 +127,10 @@ int main_impl() {
   bench::PrintTitle("Checkpoint overhead (episode cadence, German Credit)");
   const std::string ckpt_dir = "/tmp/fastft_bench_ckpt";
   const std::string ckpt_path = ckpt_dir + "/robustness.ckpt";
-  (void)common::EnsureDir(ckpt_dir);
+  Status ckpt_dir_status = common::EnsureDir(ckpt_dir);
+  FASTFT_CHECK(ckpt_dir_status.ok())
+      << "checkpoint bench needs " << ckpt_dir << ": "
+      << ckpt_dir_status.ToString();
   std::remove(ckpt_path.c_str());
 
   // Same engine configuration as the table's FASTFT column above, so the

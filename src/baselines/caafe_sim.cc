@@ -93,7 +93,10 @@ BaselineResult CaafeSimBaseline::Run(const Dataset& dataset) {
     Dataset trial = current;
     for (const ExprPtr& expr : proposals) {
       std::vector<double> column = EvalExpr(expr, originals);
-      (void)trial.features.AddColumn(ExprToString(expr), std::move(column));
+      // Best-effort: a duplicate proposal name is skipped and the trial
+      // batch is scored with the columns that did land.
+      (void)trial.features.AddColumn(  // fastft-analyze: allow(discarded-status): best-effort add, duplicates skipped by design
+          ExprToString(expr), std::move(column));
     }
     double score = evaluator.Evaluate(trial);
     // CAAFE keeps a proposal batch only if it helps.

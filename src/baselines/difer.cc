@@ -161,8 +161,10 @@ BaselineResult DiferBaseline::Run(const Dataset& dataset) {
   for (int k = 0; k < top_k; ++k) {
     if (pool[k].score <= result.base_score) break;
     std::vector<double> column = EvalExpr(pool[k].expr, originals);
-    (void)final_dataset.features.AddColumn(ExprToString(pool[k].expr),
-                                           std::move(column));
+    // A duplicate generated name just skips that candidate column; the
+    // baseline scores whatever subset was added.
+    (void)final_dataset.features.AddColumn(  // fastft-analyze: allow(discarded-status): best-effort add, duplicates skipped by design
+        ExprToString(pool[k].expr), std::move(column));
   }
   double final_score = evaluator.Evaluate(final_dataset);
   if (final_score > result.score) {

@@ -19,15 +19,17 @@ namespace common {
 /// in the same directory, fsyncs the data, renames over `path`, then fsyncs
 /// the directory so the rename itself survives a crash. Returns IOError
 /// with errno detail on any failure (the temp file is removed best-effort).
-Status AtomicWriteFile(const std::string& path, const std::string& content);
+[[nodiscard]] Status AtomicWriteFile(const std::string& path,
+                                     const std::string& content);
 
 /// Reads the entire file into `out`. NotFound when the file does not
 /// exist, IOError on other failures.
-Status ReadFileToString(const std::string& path, std::string* out);
+[[nodiscard]] Status ReadFileToString(const std::string& path,
+                                      std::string* out);
 
 /// Creates `path` (and missing parents) as a directory. OK if it already
 /// exists as a directory.
-Status EnsureDir(const std::string& path);
+[[nodiscard]] Status EnsureDir(const std::string& path);
 
 }  // namespace common
 }  // namespace fastft

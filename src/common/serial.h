@@ -22,7 +22,7 @@ namespace fastft {
 namespace common {
 
 /// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of a byte range.
-uint32_t Crc32(const void* data, size_t size);
+[[nodiscard]] uint32_t Crc32(const void* data, size_t size);
 
 class BinaryWriter {
  public:
@@ -58,8 +58,8 @@ class BinaryWriter {
     WriteBytes(v.data(), v.size() * sizeof(uint64_t));
   }
 
-  const std::string& buffer() const { return buffer_; }
-  std::string Release() { return std::move(buffer_); }
+  [[nodiscard]] const std::string& buffer() const { return buffer_; }
+  [[nodiscard]] std::string Release() { return std::move(buffer_); }
 
  private:
   std::string buffer_;
@@ -137,12 +137,16 @@ class BinaryReader {
     error_ = message;
   }
 
-  bool ok() const { return !failed_; }
-  size_t remaining() const { return failed_ ? 0 : data_.size() - pos_; }
+  [[nodiscard]] bool ok() const { return !failed_; }
+  [[nodiscard]] size_t remaining() const {
+    return failed_ ? 0 : data_.size() - pos_;
+  }
 
   /// OK when every read so far stayed in bounds; otherwise a descriptive
-  /// InvalidArgument naming the first offending field.
-  Status status() const {
+  /// InvalidArgument naming the first offending field. (ReadRaw and the
+  /// Read* family deliberately stay discardable: the documented pattern is
+  /// to read a whole payload and check status() once at the end.)
+  [[nodiscard]] Status status() const {
     if (!failed_) return Status::OK();
     return Status::InvalidArgument(error_);
   }

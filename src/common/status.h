@@ -27,7 +27,13 @@ enum class StatusCode {
 };
 
 /// Lightweight success-or-error value. Cheap to copy when ok.
-class Status {
+///
+/// [[nodiscard]] on the class makes every function returning a Status by
+/// value warn (error under FASTFT_WERROR=ON) when the caller silently drops
+/// it — the compiler-enforced half of the error-discipline contract that
+/// tools/fastft_analyze.py checks semantically. Intentional drops are
+/// spelled out: `(void)MaybeFlush();  // fastft-analyze: allow(discarded-status): why`.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -80,8 +86,10 @@ class Status {
 };
 
 /// Value-or-Status. Mirrors arrow::Result: exactly one of the two is held.
+/// [[nodiscard]] for the same reason as Status: a dropped Result is a
+/// dropped error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value / from error, mirroring arrow::Result ergonomics.
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -72,27 +72,29 @@ struct EngineCheckpointContext {
 /// 64-bit hash of the determinism-relevant EngineConfig knobs (see header
 /// comment for what is excluded). A checkpoint only restores into a config
 /// with the identical fingerprint.
-uint64_t EngineConfigFingerprint(const EngineConfig& config);
+[[nodiscard]] uint64_t EngineConfigFingerprint(const EngineConfig& config);
 
 /// Serializes the full engine state into an envelope (header + payload +
 /// CRC), ready to hand to WriteCheckpoint. Pure in-memory; cheap enough to
 /// run at every episode boundary. `reserve_hint` pre-sizes the buffer —
 /// pass the previous snapshot's size to skip geometric-growth copies.
-std::string SerializeEngineState(const EngineConfig& config,
-                                 const EngineCheckpointContext& ctx,
-                                 size_t reserve_hint = 0);
+[[nodiscard]] std::string SerializeEngineState(
+    const EngineConfig& config, const EngineCheckpointContext& ctx,
+    size_t reserve_hint = 0);
 
 /// Atomically writes an envelope to `path` (parent directory is created if
 /// missing; temp file + fsync + rename, so readers never observe a torn
 /// checkpoint).
-Status WriteCheckpoint(const std::string& path, const std::string& envelope);
+[[nodiscard]] Status WriteCheckpoint(const std::string& path,
+                                     const std::string& envelope);
 
 /// Reads, validates, and restores a checkpoint into the context's
 /// components. Every corruption class gets a descriptive Status — NotFound
 /// (no file), InvalidArgument (bad magic / version / fingerprint / CRC /
 /// truncated or malformed payload) — and the components are then in an
 /// unspecified state: the caller must rebuild them before running fresh.
-Status RestoreEngineState(const std::string& path, const EngineConfig& config,
-                          const EngineCheckpointContext& ctx);
+[[nodiscard]] Status RestoreEngineState(const std::string& path,
+                                        const EngineConfig& config,
+                                        const EngineCheckpointContext& ctx);
 
 }  // namespace fastft

@@ -1,0 +1,7 @@
+// fixture-dest: src/core/stub_core.h
+// Clean include target for the layer-violation fixtures; fires nothing.
+#pragma once
+
+namespace fastft {
+struct FixtureCoreStub {};
+}  // namespace fastft

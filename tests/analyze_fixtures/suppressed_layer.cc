@@ -1,0 +1,8 @@
+// fixture-dest: src/common/suppressed_layer.cc
+// A layer-DAG violation silenced on the include line itself. Fires
+// nothing.
+#include "core/stub_core.h"  // fastft-analyze: allow(layer-violation): fixture demonstrates suppression
+
+namespace fastft {
+FixtureCoreStub MakeSuppressedStub() { return FixtureCoreStub{}; }
+}  // namespace fastft

@@ -1,0 +1,5 @@
+// fixture-dest: src/core/cycle_a.h
+// Half of a two-header include cycle; the cycle is reported once, on the
+// lexicographically-first member.
+#pragma once
+#include "core/cycle_b.h"

@@ -1,0 +1,4 @@
+// fixture-dest: src/core/cycle_b.h
+// Second half of the include cycle (reported on cycle_a.h).
+#pragma once
+#include "core/cycle_a.h"

@@ -1,0 +1,20 @@
+// fixture-dest: src/core/trig_discard.cc
+// A call that drops an indexed Status return as a bare expression
+// statement must fire [discarded-status]. The declaration itself, the
+// propagating macro form, and `return`-consumed calls must not.
+#include "common/status.h"
+
+namespace fastft {
+
+Status FlushFixtureBuffer();
+
+Status Propagates() {
+  FASTFT_RETURN_NOT_OK(FlushFixtureBuffer());
+  return Status::OK();
+}
+
+void Drops() {
+  FlushFixtureBuffer();
+}
+
+}  // namespace fastft

@@ -1,0 +1,6 @@
+# fixture-dest: CMakeLists.txt
+# -ffast-math (and the missing -ffp-contract=off) must fire
+# [fp-flag-drift].
+cmake_minimum_required(VERSION 3.16)
+project(fixture LANGUAGES CXX)
+add_compile_options(-ffast-math)

@@ -1,0 +1,14 @@
+// fixture-dest: src/core/trig_fp.cc
+// std::accumulate outside src/common/simd_kernels* must fire
+// [fp-reduction]: the algorithm owns the combination order.
+#include <numeric>
+#include <vector>
+
+namespace fastft {
+
+double SumFixture(const std::vector<double>& v) {
+  double total = std::accumulate(v.begin(), v.end(), 0.0);
+  return total;
+}
+
+}  // namespace fastft

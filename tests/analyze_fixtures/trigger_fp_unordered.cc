@@ -1,0 +1,17 @@
+// fixture-dest: src/nn/trig_fp_unordered.cc
+// Compound FP accumulation driven by unordered-container iteration order
+// must fire [fp-unordered-accumulate].
+#include <unordered_map>
+
+namespace fastft {
+
+double TotalFixtureWeight(
+    const std::unordered_map<int, double>& fixture_weights) {
+  double total = 0.0;
+  for (const auto& kv : fixture_weights) {
+    total += kv.second;
+  }
+  return total;
+}
+
+}  // namespace fastft

@@ -1,0 +1,8 @@
+// fixture-dest: src/common/trig_layer.cc
+// common -> core inverts the documented layering and must fire
+// [layer-violation] (no allowlist entry covers it).
+#include "core/stub_core.h"
+
+namespace fastft {
+FixtureCoreStub MakeStubFromCommon() { return FixtureCoreStub{}; }
+}  // namespace fastft

@@ -1,0 +1,16 @@
+// fixture-dest: src/core/trig_unchecked.cc
+// Reading .value() from a Result-typed variable with no dominating .ok()
+// check must fire [unchecked-value].
+#include "common/status.h"
+
+namespace fastft {
+
+Result<int> LoadFixtureCount();
+int UseFixture(int v);
+
+void Step() {
+  auto count_or = LoadFixtureCount();
+  UseFixture(count_or.value());
+}
+
+}  // namespace fastft

@@ -130,7 +130,7 @@ TEST(CheckpointTest, RngStreamRoundTrip) {
 Transition MakeTransition(int tag) {
   Transition t;
   t.head_inputs = nn::Matrix(2, 3);
-  for (int i = 0; i < t.head_inputs.size(); ++i) {
+  for (int i = 0; i < static_cast<int>(t.head_inputs.size()); ++i) {
     t.head_inputs.data()[i] = tag + i * 0.5;
   }
   t.head_action = tag % 2;

@@ -36,6 +36,7 @@ EXPECTATIONS = {
     "trigger_check_user_input.cc": "check-user-input",
     "trigger_pragma_once.h": "pragma-once",
     "clean.cc": None,
+    "clean_block_comment.cc": None,
     "suppressed.cc": None,
 }
 

@@ -6,6 +6,7 @@
 namespace fastft {
 
 std::mutex g_raw_mu;
+/* a closing block comment must not mask code after it */ std::mutex g_masked_mu;
 int g_counter = 0;
 
 void Bump() {

@@ -18,6 +18,10 @@
 # same bit-identity tests — the configuration a non-x86/non-ARM host or a
 # FASTFT_SIMD=0 environment veto would run.
 #
+# The address leg additionally builds with -DFASTFT_WERROR=ON: Status and
+# Result carry [[nodiscard]], so a dropped error return fails that leg at
+# compile time instead of surfacing (maybe) as a leak at runtime.
+#
 # The thread leg runs the full suite — the parallel-evaluation tests
 # (threadpool_test, parallel_determinism_test, and the evaluator/engine
 # tests with num_threads > 1) are the ones that put real concurrency under
@@ -40,9 +44,10 @@ if [[ $# -gt 0 ]]; then SANITIZERS=("$@"); else SANITIZERS=(address undefined th
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 # Static analysis first: the lint + thread-safety annotation build +
-# clang-tidy catch whole-program discipline violations the sanitizers can
-# only hit dynamically (and only on exercised interleavings). Cheap, so it
-# gates every sanitizer run.
+# clang-tidy + semantic analyzer (error discipline, include-layer DAG,
+# FP-determinism audit) catch whole-program discipline violations the
+# sanitizers can only hit dynamically (and only on exercised
+# interleavings). Cheap, so it gates every sanitizer run.
 echo "=== static checks (check_static.sh) ==="
 tools/check_static.sh
 
@@ -55,6 +60,18 @@ for SAN in "${SANITIZERS[@]}"; do
     cmake -B "${BUILD_DIR}" -S . \
           -DCMAKE_BUILD_TYPE=RelWithDebInfo \
           -DFASTFT_SIMD=OFF \
+          -DFASTFT_BUILD_BENCHMARKS=OFF \
+          -DFASTFT_BUILD_EXAMPLES=OFF
+  elif [[ "${SAN}" == "address" ]]; then
+    # The ASan leg doubles as the warnings-as-errors build: with
+    # [[nodiscard]] on Status/Result and the factory entry points, a
+    # silently dropped error fails this leg at compile time, before the
+    # leak checker even runs.
+    echo "=== sanitizer: ${SAN} (FASTFT_WERROR=ON) -> ${BUILD_DIR} ==="
+    cmake -B "${BUILD_DIR}" -S . \
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          -DFASTFT_SANITIZE="${SAN}" \
+          -DFASTFT_WERROR=ON \
           -DFASTFT_BUILD_BENCHMARKS=OFF \
           -DFASTFT_BUILD_EXAMPLES=OFF
   else

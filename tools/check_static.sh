@@ -1,25 +1,39 @@
 #!/usr/bin/env bash
 # Static-analysis gate: the compile-time complement to check_sanitize.sh.
 #
-# Three layers, strongest available toolchain wins:
+# Four layers, strongest available toolchain wins:
 #   1. tools/fastft_lint.py        — project-invariant lint (always runs)
 #   2. FASTFT_THREAD_SAFETY build  — Clang -Wthread-safety -Werror over the
 #      annotated Mutex/MutexLock sites, plus the negative-compile assertion
 #      in tools/check_annotations.sh (both skip without a Clang toolchain)
 #   3. clang-tidy                  — curated .clang-tidy profile over src/
 #      via the exported compilation database (skips without clang-tidy)
+#   4. tools/fastft_analyze.py     — semantic cross-file passes: error
+#      discipline over the Status/Result index, the include-layer DAG, and
+#      the FP-determinism audit (always runs)
 #
-#   $ tools/check_static.sh          # all layers
-#   $ tools/check_static.sh lint     # just the project lint
+#   $ tools/check_static.sh           # all layers
+#   $ tools/check_static.sh lint      # just the project lint
+#   $ tools/check_static.sh analyze   # just the semantic analyzer
 #
 # Layers that cannot run on this machine print SKIP and do not fail the
-# gate; layers that run must pass.
+# gate; the Python layers (1 and 4) have no toolchain dependency and are
+# never skipped; layers that run must pass.
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
 ONLY="${1:-all}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 FAIL=0
+
+if [[ "${ONLY}" == "analyze" ]]; then
+  echo "=== static layer 4: fastft_analyze.py ==="
+  if python3 tools/fastft_analyze.py; then
+    echo "fastft_analyze: clean"
+    exit 0
+  fi
+  exit 1
+fi
 
 echo "=== static layer 1: fastft_lint.py ==="
 if python3 tools/fastft_lint.py; then
@@ -91,6 +105,13 @@ if [[ -n "${CLANG_TIDY}" ]]; then
   fi
 else
   echo "clang-tidy: SKIP (not installed)"
+fi
+
+echo "=== static layer 4: fastft_analyze.py ==="
+if python3 tools/fastft_analyze.py; then
+  echo "fastft_analyze: clean"
+else
+  FAIL=1
 fi
 
 if [[ "${FAIL}" == 0 ]]; then

@@ -32,6 +32,11 @@ and the locking discipline (src/common/thread_annotations.h) enforceable:
                       input must surface as Status, never abort the process.
   pragma-once         Every header must contain #pragma once.
 
+Rule regexes only ever see noise-stripped code: string/char literals are
+blanked and both `//` line comments and `/* ... */` block comments
+(including multi-line block state) are removed, so prose can neither trip
+a rule nor mask code that follows a closing `*/` on the same line.
+
 Suppress a single line with a trailing comment naming the rule:
 
     auto t = Clock::now();  // fastft-lint: allow(nondeterminism)
@@ -55,15 +60,51 @@ SOURCE_EXTENSIONS = (".h", ".cc", ".cpp")
 
 SUPPRESS_RE = re.compile(r"//\s*fastft-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 
-LINE_COMMENT_RE = re.compile(r"//(?!\s*fastft-lint:).*$")
-STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
 
-
-def strip_noise(line):
-    """Removes string literals and trailing // comments (except lint
-    directives) so rule regexes don't fire on prose."""
-    line = STRING_RE.sub('""', line)
-    return LINE_COMMENT_RE.sub("", line)
+def strip_noise_lines(lines):
+    """Returns the lines with string/char literals and comments blanked —
+    both `//` line comments and `/* ... */` block comments, including
+    multi-line block state carried across lines — so rule regexes can
+    neither fire on prose nor be masked by it (`/* x */ std::mutex m;`
+    still shows the mutex). Suppression directives are matched against the
+    RAW lines by the caller, so comments are stripped unconditionally."""
+    out = []
+    in_block = False
+    for line in lines:
+        kept = []
+        i, n = 0, len(line)
+        while i < n:
+            if in_block:
+                end = line.find("*/", i)
+                if end == -1:
+                    i = n
+                else:
+                    in_block = False
+                    i = end + 2
+                continue
+            c = line[i]
+            if c in ('"', "'"):
+                j = i + 1
+                while j < n:
+                    if line[j] == "\\":
+                        j += 2
+                        continue
+                    if line[j] == c:
+                        break
+                    j += 1
+                kept.append(c + c)
+                i = j + 1
+                continue
+            if c == "/" and i + 1 < n and line[i + 1] == "/":
+                break
+            if c == "/" and i + 1 < n and line[i + 1] == "*":
+                in_block = True
+                i += 2
+                continue
+            kept.append(c)
+            i += 1
+        out.append("".join(kept))
+    return out
 
 
 class Finding:
@@ -101,8 +142,7 @@ NONDET_ALLOWED_FILES = {
 def check_nondeterminism(rel_path, lines):
     if rel_path in NONDET_ALLOWED_FILES:
         return
-    for lineno, line in enumerate(lines, start=1):
-        code = strip_noise(line)
+    for lineno, code in enumerate(lines, start=1):
         for pattern, why in NONDET_PATTERNS:
             if pattern.search(code):
                 yield lineno, (f"{why}; derive randomness from a seeded "
@@ -127,10 +167,9 @@ def unordered_scope(rel_path):
 def check_unordered_iteration(rel_path, lines):
     if not unordered_scope(rel_path):
         return
-    text = "\n".join(strip_noise(line) for line in lines)
+    text = "\n".join(lines)
     unordered_names = set(UNORDERED_DECL_RE.findall(text))
-    for lineno, line in enumerate(lines, start=1):
-        code = strip_noise(line)
+    for lineno, code in enumerate(lines, start=1):
         for pattern in (RANGE_FOR_RE, ITER_FOR_RE):
             match = pattern.search(code)
             if match and match.group(1) in unordered_names:
@@ -156,8 +195,7 @@ RAW_MUTEX_ALLOWED_FILES = {
 def check_raw_mutex(rel_path, lines):
     if rel_path in RAW_MUTEX_ALLOWED_FILES:
         return
-    for lineno, line in enumerate(lines, start=1):
-        code = strip_noise(line)
+    for lineno, code in enumerate(lines, start=1):
         match = RAW_MUTEX_RE.search(code)
         if match:
             yield lineno, (f"{match.group(0)} bypasses the annotated "
@@ -184,8 +222,7 @@ RAW_INTRINSICS_ALLOWED_PREFIX = os.path.join("src", "common", "simd_kernels")
 def check_raw_intrinsics(rel_path, lines):
     if rel_path.startswith(RAW_INTRINSICS_ALLOWED_PREFIX):
         return
-    for lineno, line in enumerate(lines, start=1):
-        code = strip_noise(line)
+    for lineno, code in enumerate(lines, start=1):
         match = RAW_INTRINSICS_RE.search(code)
         if match:
             yield lineno, (f"'{match.group(0).strip()}' is a raw SIMD "
@@ -209,8 +246,7 @@ USER_INPUT_PREFIXES = (
 def check_user_input(rel_path, lines):
     if not rel_path.startswith(USER_INPUT_PREFIXES):
         return
-    for lineno, line in enumerate(lines, start=1):
-        code = strip_noise(line)
+    for lineno, code in enumerate(lines, start=1):
         if CHECK_RE.search(code):
             yield lineno, ("CHECK in an input-parsing layer aborts on "
                            "malformed user input; return a Status "
@@ -256,9 +292,10 @@ def lint_file(root, rel_path):
             lines = f.read().splitlines()
     except OSError as e:
         return [Finding(rel_path, 0, "io", str(e))]
+    stripped = strip_noise_lines(lines)
     findings = []
     for rule_id, check, _ in RULES:
-        for lineno, message in check(rel_path, lines):
+        for lineno, message in check(rel_path, stripped):
             line_text = lines[lineno - 1] if 0 < lineno <= len(lines) else ""
             if rule_id in suppressed_rules(line_text):
                 continue
